@@ -1,0 +1,173 @@
+package clocksync_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/core"
+	"clocksync/internal/des"
+	"clocksync/internal/experiments"
+	"clocksync/internal/protocol"
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+)
+
+// Experiment benchmarks — one per table/figure of EXPERIMENTS.md. Each
+// regenerates the experiment (quick mode) and fails the benchmark if the
+// measured results lose the shape the paper predicts. Run
+// `go run ./cmd/benchtables` for full-length tables with the printed output.
+
+func benchExperiment(b *testing.B, run func(bool) experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table := run(true)
+		if !table.ChecksPass() {
+			b.Fatalf("%s failed its shape checks:\n%s", table.ID, table.String())
+		}
+	}
+}
+
+func BenchmarkE01Deviation(b *testing.B) { benchExperiment(b, experiments.E01Deviation) }
+
+func BenchmarkE02AccuracyTradeoff(b *testing.B) {
+	benchExperiment(b, experiments.E02AccuracyTradeoff)
+}
+
+func BenchmarkE03RecoveryHalving(b *testing.B) {
+	benchExperiment(b, experiments.E03RecoveryHalving)
+}
+
+func BenchmarkE04RecoveryVsBaselines(b *testing.B) {
+	benchExperiment(b, experiments.E04RecoveryVsBaselines)
+}
+
+func BenchmarkE05MobileAdversary(b *testing.B) {
+	benchExperiment(b, experiments.E05MobileAdversary)
+}
+
+func BenchmarkE06ResilienceThreshold(b *testing.B) {
+	benchExperiment(b, experiments.E06ResilienceThreshold)
+}
+
+func BenchmarkE07TwoClique(b *testing.B) { benchExperiment(b, experiments.E07TwoClique) }
+
+func BenchmarkE08MessageOverhead(b *testing.B) {
+	benchExperiment(b, experiments.E08MessageOverhead)
+}
+
+func BenchmarkE09Discontinuity(b *testing.B) {
+	benchExperiment(b, experiments.E09Discontinuity)
+}
+
+func BenchmarkE10EstimationError(b *testing.B) {
+	benchExperiment(b, experiments.E10EstimationError)
+}
+
+func BenchmarkE11WayOffAblation(b *testing.B) {
+	benchExperiment(b, experiments.E11WayOffAblation)
+}
+
+func BenchmarkE12DriftDelaySweep(b *testing.B) {
+	benchExperiment(b, experiments.E12DriftDelaySweep)
+}
+
+func BenchmarkE13ConnectivitySweep(b *testing.B) {
+	benchExperiment(b, experiments.E13ConnectivitySweep)
+}
+
+func BenchmarkE14SelfStabilization(b *testing.B) {
+	benchExperiment(b, experiments.E14SelfStabilization)
+}
+
+func BenchmarkE15DriftCompensation(b *testing.B) {
+	benchExperiment(b, experiments.E15DriftCompensation)
+}
+
+func BenchmarkE16MessageLoss(b *testing.B) {
+	benchExperiment(b, experiments.E16MessageLoss)
+}
+
+func BenchmarkE17CachedEstimation(b *testing.B) {
+	benchExperiment(b, experiments.E17CachedEstimation)
+}
+
+func BenchmarkE18ProactiveSecurity(b *testing.B) {
+	benchExperiment(b, experiments.E18ProactiveSecurity)
+}
+
+func BenchmarkE19TightnessProbe(b *testing.B) {
+	benchExperiment(b, experiments.E19TightnessProbe)
+}
+
+func BenchmarkE20NetworkOutage(b *testing.B) {
+	benchExperiment(b, experiments.E20NetworkOutage)
+}
+
+// Component microbenchmarks — the protocol's hot paths.
+
+// BenchmarkConvergenceFunction measures the Figure 1 convergence function
+// on a 16-processor estimate vector.
+func BenchmarkConvergenceFunction(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ests := make([]protocol.Estimate, 16)
+	for i := range ests {
+		ests[i] = protocol.Estimate{
+			Peer: i,
+			D:    simtime.Duration(rng.NormFloat64()),
+			A:    simtime.Duration(rng.Float64() * 0.05),
+			OK:   true,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := core.Converge(5, 1, ests); !ok {
+			b.Fatal("unexpected unsafe result")
+		}
+	}
+}
+
+// BenchmarkSimulatorEvents measures raw discrete-event throughput.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	sim := des.New(1)
+	var fn func()
+	remaining := b.N
+	fn = func() {
+		remaining--
+		if remaining > 0 {
+			sim.After(1, fn)
+		}
+	}
+	sim.After(1, fn)
+	b.ResetTimer()
+	sim.Run()
+	if sim.Fired() != uint64(b.N) {
+		b.Fatalf("fired %d, want %d", sim.Fired(), b.N)
+	}
+}
+
+// BenchmarkClusterMinute measures how fast the full stack simulates one
+// minute of a cluster (network, estimation, convergence, metrics) at
+// several sizes — the simulator's scalability envelope.
+func BenchmarkClusterMinute(b *testing.B) {
+	for _, n := range []int{7, 16, 64} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := scenario.Run(scenario.Scenario{
+					Name:     "bench",
+					Seed:     int64(i),
+					N:        n,
+					F:        (n - 1) / 3,
+					Duration: simtime.Minute,
+					Theta:    2 * simtime.Minute,
+					Rho:      1e-4,
+					SyncInt:  10 * simtime.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+// Package clocksync is a Go implementation of the fault-and-recovery
+// tolerant clock synchronization protocol of Barak, Halevi, Herzberg and
+// Naor, "Clock Synchronization with Faults and Recoveries" (PODC 2000).
+//
+// The protocol keeps the logical clocks of n processors synchronized and
+// accurate in the presence of an f-limited mobile Byzantine adversary: any
+// number of processors may be corrupted over the system's lifetime, as long
+// as at most f are corrupted within any window of length Θ and n ≥ 3f+1.
+// Corrupted processors recover automatically after release, without any
+// fault or recovery detection.
+//
+// The package exposes three layers:
+//
+//   - Simulation: deterministic discrete-event experiments
+//     (Scenario/RunScenario), used to validate the Theorem 5 bounds and to
+//     reproduce every experiment in EXPERIMENTS.md.
+//   - Analysis: the closed-form Theorem 5 calculator (Params/Derive).
+//   - Deployment: a real-time UDP node (LiveConfig/NewLiveNode) that runs
+//     the same convergence function over authenticated links.
+//
+// See the examples directory for runnable entry points.
+package clocksync
+
+import (
+	"clocksync/internal/analysis"
+	"clocksync/internal/livenet"
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+)
+
+// Time is an instant in simulated real time, in seconds.
+type Time = simtime.Time
+
+// Duration is a span of simulated time, in seconds.
+type Duration = simtime.Duration
+
+// Common durations re-exported for configuration literals.
+const (
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+	Minute      = simtime.Minute
+	Hour        = simtime.Hour
+)
+
+// Params are the model constants and protocol settings of the analysis
+// (drift bound ρ, delivery bound δ, adversary period Θ, SyncInt, MaxWait).
+type Params = analysis.Params
+
+// Bounds are the guarantees of Theorem 5 derived from Params.
+type Bounds = analysis.Bounds
+
+// Derive evaluates Theorem 5: maximum deviation Δ, logical drift ρ̃,
+// discontinuity ψ, the recommended WayOff, and the recovery horizon.
+func Derive(p Params) (Bounds, error) { return analysis.Derive(p) }
+
+// DefaultParams returns a parameter set representative of a LAN/metro
+// deployment for n processors with fault budget f.
+func DefaultParams(n, f int) Params { return analysis.DefaultParams(n, f) }
+
+// Provision solves the inverse problem: given a target maximum deviation,
+// a hardware drift bound and the adversary period, it returns network and
+// protocol parameters whose derived Δ meets the target (or an error when no
+// delay bound is fast enough). Set N/F on the result to your cluster size.
+func Provision(targetDelta Duration, rho float64, theta Duration) (Params, error) {
+	return analysis.Provision(targetDelta, rho, theta)
+}
+
+// Scenario describes a complete simulation: processors, clocks, network,
+// protocol parameters, adversary schedule and measurement settings.
+type Scenario = scenario.Scenario
+
+// Result is the outcome of a simulation run: the measured report, the
+// theoretical bounds it is compared against, and the raw sample series.
+type Result = scenario.Result
+
+// RunScenario executes a simulation.
+func RunScenario(s Scenario) (*Result, error) { return scenario.Run(s) }
+
+// LiveConfig configures a real-time UDP node.
+type LiveConfig = livenet.Config
+
+// LiveNode is a deployable Sync participant on a real network.
+type LiveNode = livenet.Node
+
+// NewLiveNode opens a live node's socket and prepares it to Run.
+func NewLiveNode(cfg LiveConfig) (*LiveNode, error) { return livenet.New(cfg) }
+
+// LiveCluster runs n live nodes in one process on loopback sockets.
+type LiveCluster = livenet.Cluster
+
+// LiveClusterConfig parameterizes an in-process live cluster.
+type LiveClusterConfig = livenet.ClusterConfig
+
+// NewLiveCluster opens sockets for all nodes and wires their peer tables.
+func NewLiveCluster(cfg LiveClusterConfig) (*LiveCluster, error) {
+	return livenet.NewCluster(cfg)
+}

@@ -1,0 +1,138 @@
+// Command syncnode runs one live clock-synchronization node over UDP — the
+// deployable artifact of this repository. A cluster of syncnodes keeps its
+// members' clocks synchronized under the paper's guarantees, with
+// HMAC-authenticated links.
+//
+// Usage (three-node cluster on one host):
+//
+//	syncnode -id 0 -listen 127.0.0.1:9000 -peers 1=127.0.0.1:9001,2=127.0.0.1:9002,3=127.0.0.1:9003 -f 1 -key secret
+//	syncnode -id 1 -listen 127.0.0.1:9001 -peers 0=127.0.0.1:9000,2=127.0.0.1:9002,3=127.0.0.1:9003 -f 1 -key secret
+//	...
+//
+// Each node periodically prints its offset from the host clock; -offset and
+// -drift-ppm synthesize a bad local clock for demonstrations.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"clocksync/internal/livenet"
+)
+
+func main() {
+	if err := run(); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "syncnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.Int("id", 0, "this node's identity")
+		listen   = flag.String("listen", "127.0.0.1:9000", "UDP listen address")
+		peersArg = flag.String("peers", "", "comma-separated peer list id=host:port,...")
+		f        = flag.Int("f", 1, "per-period fault budget (n ≥ 3f+1)")
+		syncInt  = flag.Duration("syncint", 2*time.Second, "wall time between Syncs")
+		maxWait  = flag.Duration("maxwait", 500*time.Millisecond, "estimation timeout")
+		wayOff   = flag.Duration("wayoff", 5*time.Second, "own-clock rejection threshold")
+		key      = flag.String("key", "", "shared HMAC key (empty disables authentication)")
+		offset   = flag.Duration("offset", 0, "simulated initial clock offset")
+		drift    = flag.Float64("drift-ppm", 0, "simulated clock drift in ppm")
+		report   = flag.Duration("report", 5*time.Second, "offset report interval (0 = quiet)")
+		status   = flag.String("status", "", "HTTP address serving GET /status (empty = off)")
+	)
+	flag.Parse()
+
+	peers, err := parsePeers(*peersArg, *id)
+	if err != nil {
+		return err
+	}
+	node, err := livenet.New(livenet.Config{
+		ID:          *id,
+		F:           *f,
+		Listen:      *listen,
+		Peers:       peers,
+		SyncInt:     *syncInt,
+		MaxWait:     *maxWait,
+		WayOff:      *wayOff,
+		Key:         []byte(*key),
+		SimOffset:   *offset,
+		SimDriftPPM: *drift,
+		Logf:        log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Ltime|log.Lmicroseconds).Printf,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("node %d listening on %s with %d peers (f=%d)", *id, node.Addr(), len(peers), *f)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *status != "" {
+		addr, err := node.ServeStatus(ctx, *status)
+		if err != nil {
+			return err
+		}
+		log.Printf("node %d status endpoint at http://%s/status", *id, addr)
+	}
+
+	if *report > 0 {
+		go func() {
+			ticker := time.NewTicker(*report)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					st := node.Status()
+					reachable := 0
+					for _, p := range st.Peers {
+						if p.Replies > 0 && time.Since(p.LastSeen) < 3**syncInt {
+							reachable++
+						}
+					}
+					log.Printf("node %d: offset %v after %d syncs, last adjust %v, %d/%d peers reachable",
+						*id, st.Offset.Round(time.Microsecond), st.Syncs,
+						st.Last.Round(time.Microsecond), reachable, len(st.Peers))
+				}
+			}
+		}()
+	}
+	return node.Run(ctx)
+}
+
+// parsePeers parses "1=host:port,2=host:port" into a peer table.
+func parsePeers(arg string, self int) (map[int]string, error) {
+	peers := make(map[int]string)
+	if strings.TrimSpace(arg) == "" {
+		return nil, fmt.Errorf("missing -peers")
+	}
+	for _, part := range strings.Split(arg, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		pid, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		if pid == self {
+			continue // ignore self-entries so all nodes can share one list
+		}
+		if _, dup := peers[pid]; dup {
+			return nil, fmt.Errorf("duplicate peer id %d", pid)
+		}
+		peers[pid] = kv[1]
+	}
+	return peers, nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("0=127.0.0.1:9000,1=127.0.0.1:9001, 2=host:9002", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-entries are ignored so one list can be shared by all nodes.
+	if _, hasSelf := peers[0]; hasSelf {
+		t.Fatal("self entry not ignored")
+	}
+	if peers[1] != "127.0.0.1:9001" || peers[2] != "host:9002" {
+		t.Fatalf("peers: %+v", peers)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want string
+	}{
+		{"", "missing -peers"},
+		{"1:127.0.0.1:9001", "bad peer entry"},
+		{"x=127.0.0.1:9001", "bad peer id"},
+		{"1=a,1=b", "duplicate peer id"},
+	}
+	for _, tc := range cases {
+		if _, err := parsePeers(tc.arg, 0); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parsePeers(%q): got %v, want %q", tc.arg, err, tc.want)
+		}
+	}
+}

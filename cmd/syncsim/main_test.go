@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProtocolRegistryComplete(t *testing.T) {
+	reg := protocolRegistry()
+	for _, name := range []string{"boundedcf", "roundmidpoint", "srikanthtoueg", "broadcastjoin", "ntp"} {
+		if reg[name] == nil {
+			t.Errorf("protocol %q missing from registry", name)
+		}
+	}
+}
+
+func TestRunFromConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	spec := `{
+		"name": "cli-test", "seed": 3, "n": 4, "f": 1,
+		"duration_sec": 120, "theta_sec": 60, "rho": 1e-4,
+		"init_spread_sec": 0.05, "sample_period_sec": 5
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "out.jsonl")
+	if err := runFromConfig(path, false, tracePath); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+}
+
+func TestRunFromConfigBaselineProtocol(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	spec := `{
+		"name": "cli-ntp", "seed": 3, "n": 4, "f": 1,
+		"duration_sec": 120, "theta_sec": 60, "rho": 1e-4,
+		"protocol": "ntp", "sample_period_sec": 5
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFromConfig(path, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromConfigErrors(t *testing.T) {
+	if err := runFromConfig("/does/not/exist.json", false, ""); err == nil {
+		t.Error("missing config accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"protocol": "quantum"}`), 0o644)
+	if err := runFromConfig(bad, false, ""); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	os.WriteFile(garbage, []byte(`{{{`), 0o644)
+	if err := runFromConfig(garbage, false, ""); err == nil {
+		t.Error("garbage config accepted")
+	}
+}
+
+func TestShippedConfigsAreValid(t *testing.T) {
+	// The sample configs in configs/ must parse, build and run.
+	matches, err := filepath.Glob("../../configs/*.json")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no shipped configs found: %v", err)
+	}
+	for _, path := range matches {
+		if err := runFromConfig(path, false, ""); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}

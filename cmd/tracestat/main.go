@@ -1,0 +1,110 @@
+// Command tracestat summarizes a JSON-lines trace produced by a simulation
+// run (syncsim -trace, or scenario.Scenario.TraceWriter): adjustment
+// distribution, deviation profile, and the corruption timeline. With -plot
+// it also renders the per-node bias trajectories and the deviation series
+// as ASCII charts.
+//
+// Usage:
+//
+//	syncsim -n 7 -f 2 -rotate -duration 30m -trace run.jsonl
+//	tracestat run.jsonl
+//	tracestat -plot run.jsonl
+//	tracestat -          # read from stdin
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"clocksync/internal/asciiplot"
+	"clocksync/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	plot := false
+	if len(args) > 0 && args[0] == "-plot" {
+		plot = true
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: tracestat [-plot] <file.jsonl | ->")
+	}
+	var r io.Reader
+	if args[0] == "-" {
+		r = stdin
+	} else {
+		fh, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		r = fh
+	}
+	events, err := trace.Read(r)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	if _, err := io.WriteString(stdout, trace.Summarize(events).String()); err != nil {
+		return err
+	}
+	if plot {
+		return writePlots(stdout, events)
+	}
+	return nil
+}
+
+// writePlots renders the deviation series and per-node bias trajectories
+// from the trace's sample events.
+func writePlots(w io.Writer, events []trace.Event) error {
+	var ts, devs []float64
+	biases := map[string][]float64{}
+	nodes := 0
+	for _, e := range events {
+		if e.Kind != trace.KindSample {
+			continue
+		}
+		ts = append(ts, e.At)
+		devs = append(devs, e.Deviation)
+		if len(e.Biases) > nodes {
+			nodes = len(e.Biases)
+		}
+		for i, b := range e.Biases {
+			key := fmt.Sprintf("n%d", i)
+			biases[key] = append(biases[key], b)
+		}
+	}
+	if len(ts) == 0 {
+		return fmt.Errorf("trace has no sample events to plot")
+	}
+	if _, err := fmt.Fprintf(w, "\ngood-set deviation over time:\n%s",
+		asciiplot.Line(ts, map[string][]float64{"dev": devs},
+			asciiplot.Options{Width: 68, Height: 12, XLabel: "real time (s)"})); err != nil {
+		return err
+	}
+	// Plotting every node drowns the chart; cap the per-node view at 5.
+	if nodes > 5 {
+		trimmed := map[string][]float64{}
+		for i := 0; i < 5; i++ {
+			key := fmt.Sprintf("n%d", i)
+			trimmed[key] = biases[key]
+		}
+		biases = trimmed
+		fmt.Fprintf(w, "\n(bias trajectories: first 5 of %d nodes)\n", nodes)
+	} else {
+		fmt.Fprintf(w, "\nbias trajectories:\n")
+	}
+	_, err := io.WriteString(w, asciiplot.Line(ts, biases,
+		asciiplot.Options{Width: 68, Height: 12, XLabel: "real time (s)"}))
+	return err
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `{"at":0,"kind":"sample","biases":[0,0.1],"deviation":0.1}
+{"at":1,"kind":"adjust","node":1,"delta":-0.05}
+{"at":2,"kind":"corrupt","node":0}
+{"at":5,"kind":"release","node":0}
+`
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"4 events", "2 nodes", "corruptions: 1", "node  0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-"}, strings.NewReader(sampleTrace), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adjustments: 1 total") {
+		t.Errorf("stdin output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	multi := `{"at":0,"kind":"sample","biases":[0,0.1],"deviation":0.1}
+{"at":1,"kind":"sample","biases":[0.02,0.08],"deviation":0.06}
+{"at":2,"kind":"sample","biases":[0.03,0.05],"deviation":0.02}
+`
+	var out bytes.Buffer
+	if err := run([]string{"-plot", "-"}, strings.NewReader(multi), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"deviation over time", "bias trajectories", "real time (s)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("plot output missing %q:\n%s", want, out.String())
+		}
+	}
+	// A trace with no samples cannot be plotted.
+	if err := run([]string{"-plot", "-"},
+		strings.NewReader(`{"at":1,"kind":"adjust","node":0,"delta":1}`+"\n"), &out); err == nil {
+		t.Error("plot of sample-less trace accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, nil, nil); err == nil {
+		t.Error("missing arg accepted")
+	}
+	if err := run([]string{"a", "b"}, nil, nil); err == nil {
+		t.Error("extra args accepted")
+	}
+	if err := run([]string{"/does/not/exist.jsonl"}, nil, nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-"}, strings.NewReader(""), &out); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := run([]string{"-"}, strings.NewReader("not json\n"), &out); err == nil {
+		t.Error("garbage accepted")
+	}
+}

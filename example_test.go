@@ -1,0 +1,85 @@
+package clocksync_test
+
+import (
+	"fmt"
+
+	"clocksync"
+)
+
+// ExampleDerive evaluates Theorem 5 for a LAN-like deployment.
+func ExampleDerive() {
+	params := clocksync.DefaultParams(7, 2) // n=7 processors, f=2 per period
+	bounds, err := clocksync.Derive(params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("analysis interval T  %v\n", bounds.T)
+	fmt.Printf("syncs per period K   %d\n", bounds.K)
+	fmt.Printf("max deviation Δ      %v\n", bounds.MaxDeviation)
+	// Output:
+	// analysis interval T  10.201s
+	// syncs per period K   176
+	// max deviation Δ      818.44ms
+}
+
+// ExampleRunScenario simulates a cluster under a mobile clock-smashing
+// adversary and checks the Theorem 5 deviation guarantee.
+func ExampleRunScenario() {
+	theta := 3 * clocksync.Minute
+	res, err := clocksync.RunScenario(clocksync.Scenario{
+		Name:     "example",
+		Seed:     1,
+		N:        7,
+		F:        2,
+		Duration: 30 * clocksync.Minute,
+		Theta:    theta,
+		Rho:      1e-4,
+		Adversary: clocksync.RotateAdversary(7, 2, clocksync.Time(2*theta),
+			30*clocksync.Second, theta, 4,
+			func(int) clocksync.Behavior {
+				return clocksync.ClockSmash{Offset: 30 * clocksync.Second}
+			}),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("within bound: %v\n", res.Report.MaxDeviation <= res.Bounds.MaxDeviation)
+	recovered := 0
+	for _, rv := range res.Report.Recoveries {
+		if rv.Ok {
+			recovered++
+		}
+	}
+	fmt.Printf("recoveries: %d/%d\n", recovered, len(res.Report.Recoveries))
+	// Output:
+	// within bound: true
+	// recoveries: 4/4
+}
+
+// ExampleScenario_twoClique reproduces the §5 counterexample in a few lines:
+// a (3f+1)-connected graph on which the protocol cannot keep the two halves
+// together.
+func ExampleScenario_twoClique() {
+	res, err := clocksync.RunScenario(clocksync.Scenario{
+		Name:     "two-clique",
+		Seed:     1,
+		N:        8,
+		F:        1,
+		Duration: clocksync.Hour,
+		Theta:    5 * clocksync.Minute,
+		Rho:      1e-3,
+		Topology: clocksync.NewTwoCliques(1),
+		Slopes:   []float64{1.001, 1.001, 1.001, 1.001, 0.999, 0.999, 0.999, 0.999},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The good-set deviation includes the inter-clique gap, which grows with
+	// relative drift instead of staying under the full-mesh bound.
+	fmt.Printf("diverged: %v\n", res.Report.MaxDeviation > res.Bounds.MaxDeviation)
+	// Output:
+	// diverged: true
+}

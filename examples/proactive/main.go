@@ -1,0 +1,129 @@
+// Proactive security demo — the paper's motivating application (§1).
+//
+// Proactive secret sharing divides time into epochs; in every epoch the
+// share-holders must jointly refresh their shares so that an attacker who
+// compromises at most f holders per epoch learns nothing. The refresh
+// protocol is driven by local clocks: a holder starts refresh r when its
+// clock reads r·EpochLen. If clocks disagree by more than the refresh grace
+// window, holders end up in different epochs and the refresh (and hence
+// security) breaks.
+//
+// This demo runs share-holders under a mobile clock-smashing adversary twice
+// — once with the paper's Sync protocol disciplining the clocks, once with
+// free-running clocks — and reports how many epoch transitions every
+// non-faulty holder performed in agreement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"clocksync"
+)
+
+const (
+	epochLen = 2 * clocksync.Minute
+	grace    = 2 * clocksync.Second // transition window tolerated by refresh
+)
+
+func main() {
+	fmt.Println("Proactive share-refresh epochs under a mobile adversary")
+	fmt.Printf("  epoch length %v, grace window %v, n=7, f=2\n\n", epochLen, grace)
+
+	synced := run(true)
+	free := run(false)
+
+	fmt.Printf("  with Sync       %3d/%d epoch transitions agreed by all good holders\n",
+		synced.agreed, synced.total)
+	fmt.Printf("  free-running    %3d/%d epoch transitions agreed by all good holders\n",
+		free.agreed, free.total)
+	fmt.Println()
+	if synced.agreed == synced.total && free.agreed < free.total {
+		fmt.Println("  ✓ synchronized clocks keep every refresh aligned; free-running clocks")
+		fmt.Println("    (smashed by the adversary and never corrected) tear the epochs apart —")
+		fmt.Println("    exactly why proactive security needs this protocol underneath.")
+	} else {
+		fmt.Println("  unexpected outcome — inspect the run parameters")
+	}
+}
+
+type outcome struct {
+	agreed, total int
+}
+
+// noop is a protocol that never synchronizes — the free-running control.
+type noop struct{}
+
+func (noop) Start() {}
+
+// run simulates the cluster and checks epoch agreement at every transition.
+func run(withSync bool) outcome {
+	n, f := 7, 2
+	theta := 3 * clocksync.Minute
+	sched := clocksync.RotateAdversary(n, f, clocksync.Time(2*theta),
+		30*clocksync.Second, theta, 8,
+		func(node int) clocksync.Behavior {
+			return clocksync.ClockSmash{Offset: 20 * clocksync.Second, Quiet: true}
+		})
+
+	s := clocksync.Scenario{
+		Name:         "proactive",
+		Seed:         11,
+		N:            n,
+		F:            f,
+		Duration:     90 * clocksync.Minute,
+		Theta:        theta,
+		Rho:          1e-4,
+		Adversary:    sched,
+		SamplePeriod: clocksync.Second,
+	}
+	if !withSync {
+		// Free-running clocks: nodes never correct anything. Same network,
+		// same adversary, same good-set accounting — only the protocol is
+		// absent.
+		s.Builder = func(clocksync.BuildContext) clocksync.Starter { return noop{} }
+	}
+	res, err := clocksync.RunScenario(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Holders may legitimately disagree for a grace window around each
+	// boundary; everywhere else, all good holders must be in the same epoch.
+	// An epoch counts as agreed only if no safely-interior sample shows a
+	// split.
+	epochOK := map[int64]bool{}
+	for _, smp := range res.Recorder.Samples() {
+		pos := math.Mod(float64(smp.At), float64(epochLen))
+		if pos < float64(grace) || pos > float64(epochLen)-float64(grace) {
+			continue // boundary region: disagreement tolerated
+		}
+		wallEpoch := int64(float64(smp.At) / float64(epochLen))
+		if _, seen := epochOK[wallEpoch]; !seen {
+			epochOK[wallEpoch] = true
+		}
+		var ref int64
+		first := true
+		for i := 0; i < n; i++ {
+			if !smp.Good[i] {
+				continue
+			}
+			clockNow := float64(smp.At) + float64(smp.Biases[i])
+			e := int64(clockNow / float64(epochLen))
+			if first {
+				ref, first = e, false
+			} else if e != ref {
+				epochOK[wallEpoch] = false
+			}
+		}
+	}
+	out := outcome{}
+	for _, ok := range epochOK {
+		out.total++
+		if ok {
+			out.agreed++
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package clocksync
+
+import (
+	"clocksync/internal/adversary"
+	"clocksync/internal/metrics"
+	"clocksync/internal/network"
+	"clocksync/internal/protocol"
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+)
+
+// Measurement types produced by a run.
+type (
+	// Report condenses a run: worst deviation, discontinuity, clock rates
+	// and per-release recovery records.
+	Report = metrics.Report
+	// Recovery describes how one released processor rejoined.
+	Recovery = metrics.Recovery
+	// Sample is one measurement instant: biases, the good set, and the
+	// good-set deviation.
+	Sample = metrics.Sample
+)
+
+// Adversary schedule types (Definition 2): a Schedule lists break-ins; it is
+// validated to be f-limited with respect to Θ before a run.
+type (
+	// Schedule is a set of corruptions — the static description of a mobile
+	// adversary strategy.
+	Schedule = adversary.Schedule
+	// Corruption is one break-in window with the behavior driving the
+	// victim.
+	Corruption = adversary.Corruption
+	// Behavior scripts a corrupted processor.
+	Behavior = protocol.Behavior
+)
+
+// RotateAdversary builds an f-limited rotating corruption schedule over all
+// n processors: the unbounded-total-faults workload of the paper.
+func RotateAdversary(n, f int, start Time, dwell, theta Duration, events int, mk func(node int) Behavior) Schedule {
+	return adversary.Rotate(n, f, start, dwell, theta, events, mk)
+}
+
+// StaticAdversary corrupts a fixed set of nodes for [from, to).
+func StaticAdversary(nodes []int, from, to Time, mk func(node int) Behavior) Schedule {
+	return adversary.Static(nodes, from, to, mk)
+}
+
+// Byzantine behaviors for corrupted processors.
+type (
+	// Crash keeps the victim silent.
+	Crash = adversary.Crash
+	// ClockSmash rewrites the victim's clock by Offset on break-in.
+	ClockSmash = adversary.ClockSmash
+	// RandomLiar answers with uniformly noisy clock readings.
+	RandomLiar = adversary.RandomLiar
+	// ConsistentLiar reports real time plus a fixed offset to everyone.
+	ConsistentLiar = adversary.ConsistentLiar
+	// SplitBrain reports different clocks to different halves of the
+	// cluster — the attack that exhibits the n ≥ 3f+1 threshold.
+	SplitBrain = adversary.SplitBrain
+)
+
+// Network topologies and delay models.
+type (
+	// Topology describes which processors share links.
+	Topology = network.Topology
+	// DelayModel samples per-message one-way latency.
+	DelayModel = network.DelayModel
+	// ConstantDelay delivers after a fixed latency.
+	ConstantDelay = network.ConstantDelay
+	// UniformDelay samples latency uniformly from [Min, Max].
+	UniformDelay = network.UniformDelay
+	// SpikyDelay adds occasional latency spikes — the workload where
+	// min-RTT-of-k estimation pays off.
+	SpikyDelay = network.SpikyDelay
+)
+
+// NewFullMesh returns the complete topology on n processors (the paper's
+// main model).
+func NewFullMesh(n int) Topology { return network.NewFullMesh(n) }
+
+// NewTwoCliques builds the §5 counterexample graph on 6f+2 processors.
+func NewTwoCliques(f int) Topology { return network.NewTwoCliques(f) }
+
+// NewUniformDelay validates and returns a uniform latency model.
+func NewUniformDelay(min, max Duration) UniformDelay {
+	return network.NewUniformDelay(min, max)
+}
+
+// Seconds converts a float64 second count to a Duration.
+func Seconds(s float64) Duration { return simtime.Duration(s) }
+
+// Builder constructs the protocol node for one processor; Starter is the
+// node it returns. Scenarios default to the paper's Sync protocol — set a
+// Builder to run a custom or null protocol instead.
+type (
+	// Builder constructs one processor's protocol node.
+	Builder = scenario.Builder
+	// BuildContext is what a Builder receives.
+	BuildContext = scenario.BuildContext
+	// Starter is a protocol node ready to run.
+	Starter = scenario.Starter
+)

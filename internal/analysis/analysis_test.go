@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"clocksync/internal/simtime"
+)
+
+func TestDefaultParamsValidate(t *testing.T) {
+	p := DefaultParams(10, 3)
+	if err := Validate(p); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	p := DefaultParams(10, 3)
+	b := MustDerive(p)
+
+	// T = (1+ρ)·SyncInt + 2·MaxWait = 1.0001·10 + 0.2.
+	wantT := 1.0001*10 + 0.2
+	if math.Abs(float64(b.T)-wantT) > 1e-9 {
+		t.Fatalf("T: got %v, want %v", b.T, wantT)
+	}
+	// K = ⌊1800 / T⌋ = 176.
+	if b.K != int(math.Floor(1800/wantT)) {
+		t.Fatalf("K: got %d", b.K)
+	}
+	// ε = (1+ρ)·MaxWait/2.
+	wantEps := 1.0001 * 0.1 / 2
+	if math.Abs(float64(b.Eps)-wantEps) > 1e-12 {
+		t.Fatalf("Eps: got %v, want %v", b.Eps, wantEps)
+	}
+	// C = (17ε + 18ρT)/2^(K−3) is astronomically small for K=176.
+	if b.C <= 0 || b.C > 1e-40 {
+		t.Fatalf("C: got %v", b.C)
+	}
+	// Δ = 16ε + 18ρT + 4C ≈ 16ε + 18ρT.
+	wantDev := 16*wantEps + 18*1e-4*wantT
+	if math.Abs(float64(b.MaxDeviation)-wantDev) > 1e-9 {
+		t.Fatalf("MaxDeviation: got %v, want %v", b.MaxDeviation, wantDev)
+	}
+	// ρ̃ = ρ + C/2T ≈ ρ.
+	if math.Abs(b.LogicalDrift-1e-4) > 1e-12 {
+		t.Fatalf("LogicalDrift: got %v", b.LogicalDrift)
+	}
+	// ψ = ε + C/2 ≈ ε.
+	if math.Abs(float64(b.Discontinuity)-wantEps) > 1e-9 {
+		t.Fatalf("Discontinuity: got %v", b.Discontinuity)
+	}
+	if b.WayOff != b.MaxDeviation+b.Eps {
+		t.Fatalf("WayOff: got %v", b.WayOff)
+	}
+	if b.RecoveryTime <= 0 || b.RecoveryTime > p.Theta {
+		t.Fatalf("RecoveryTime: got %v", b.RecoveryTime)
+	}
+}
+
+func TestCDecaysGeometrically(t *testing.T) {
+	// Doubling Θ (hence K) must shrink C by ~2^ΔK — the O(2^−K) claim.
+	base := DefaultParams(7, 2)
+	base.Theta = 100 * simtime.Second
+	bigger := base
+	bigger.Theta = 200 * simtime.Second
+	b1 := MustDerive(base)
+	b2 := MustDerive(bigger)
+	if b2.K <= b1.K {
+		t.Fatalf("K did not grow: %d vs %d", b1.K, b2.K)
+	}
+	wantRatio := math.Pow(2, float64(b2.K-b1.K))
+	gotRatio := float64(b1.C) / float64(b2.C)
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 1e-9 {
+		t.Fatalf("C ratio: got %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestLogicalDriftApproachesRho(t *testing.T) {
+	// As Θ → ∞ the additive factor vanishes (§1.1: "as the length of the
+	// time period approaches infinity, this added factor approaches zero").
+	p := DefaultParams(7, 2)
+	p.Theta = 60 * simtime.Second
+	small := MustDerive(p)
+	p.Theta = simtime.Hour
+	large := MustDerive(p)
+	if !(large.LogicalDrift < small.LogicalDrift) {
+		t.Fatal("logical drift must decrease with Θ")
+	}
+	if math.Abs(large.LogicalDrift-p.Rho) > 1e-15 {
+		t.Fatalf("logical drift must approach ρ: got %v", large.LogicalDrift)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		want   error
+	}{
+		{"n<3f+1", func(p *Params) { p.N = 9 }, ErrResilience},
+		{"negative f", func(p *Params) { p.F = -1 }, ErrResilience},
+		{"MaxWait<2δ", func(p *Params) { p.MaxWait = p.Delta }, ErrMaxWait},
+		{"SyncInt<2MaxWait", func(p *Params) { p.SyncInt = p.MaxWait }, ErrSyncInt},
+		{"K<5", func(p *Params) { p.Theta = 30 * simtime.Second }, ErrKTooSmall},
+		{"zero delta", func(p *Params) { p.Delta = 0 }, ErrModel},
+		{"negative rho", func(p *Params) { p.Rho = -0.1 }, ErrModel},
+		{"zero theta", func(p *Params) { p.Theta = 0 }, ErrModel},
+	}
+	for _, tc := range cases {
+		p := DefaultParams(10, 3)
+		tc.mutate(&p)
+		err := Validate(p)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		if _, derr := Derive(p); derr == nil {
+			t.Errorf("%s: Derive must propagate validation failure", tc.name)
+		}
+	}
+}
+
+func TestMustDerivePanicsOnInvalid(t *testing.T) {
+	p := DefaultParams(10, 3)
+	p.N = 3
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDerive must panic on invalid params")
+		}
+	}()
+	MustDerive(p)
+}
+
+func TestKRequiresSeveralSyncsPerPeriod(t *testing.T) {
+	// The paper's framing: "we require that several synchronization
+	// operations take place in each such period."
+	p := DefaultParams(7, 2)
+	p.Theta = 5 * p.T() // K exactly 5 — boundary accepted
+	if err := Validate(p); err != nil {
+		t.Fatalf("K=5 must validate: %v", err)
+	}
+	p.Theta = 5*p.T() - simtime.Millisecond // K=4 — rejected
+	if err := Validate(p); !errors.Is(err, ErrKTooSmall) {
+		t.Fatalf("K=4 must be rejected, got %v", err)
+	}
+}

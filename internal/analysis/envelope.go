@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+
+	"clocksync/internal/simtime"
+)
+
+// Envelope is the region of Definition 6 in the (τ, β)-plane:
+//
+//	E = { (τ, β) | τ ≥ τ0,  a − ρ(τ−τ0) ≤ β ≤ b + ρ(τ−τ0) }
+//
+// It captures how an interval of bias values widens over time under drift
+// bound ρ when clocks are not reset. The proof of Theorem 5 (Appendix A)
+// reasons entirely in terms of envelopes; we use the same algebra to verify
+// Lemma 7 empirically in integration tests.
+type Envelope struct {
+	T0  simtime.Time     // reference instant τ0
+	Lo  simtime.Duration // a — lower bias bound at τ0
+	Hi  simtime.Duration // b — upper bias bound at τ0
+	Rho float64          // drift bound governing the widening
+}
+
+// NewEnvelope returns Env{τ0, [lo, hi]} with drift bound rho.
+func NewEnvelope(t0 simtime.Time, lo, hi simtime.Duration, rho float64) Envelope {
+	if hi < lo {
+		panic(fmt.Sprintf("analysis: inverted envelope [%v, %v]", lo, hi))
+	}
+	if rho < 0 {
+		panic(fmt.Sprintf("analysis: negative drift bound %v", rho))
+	}
+	return Envelope{T0: t0, Lo: lo, Hi: hi, Rho: rho}
+}
+
+// At returns the bias interval E(τ) = [a − ρ(τ−τ0), b + ρ(τ−τ0)]. Querying
+// before τ0 panics — envelopes are only defined forward of their reference
+// instant.
+func (e Envelope) At(tau simtime.Time) (lo, hi simtime.Duration) {
+	if tau < e.T0 {
+		panic(fmt.Sprintf("analysis: envelope queried at %v before τ0=%v", tau, e.T0))
+	}
+	w := simtime.Duration(e.Rho * float64(tau.Sub(e.T0)))
+	return e.Lo - w, e.Hi + w
+}
+
+// Width returns |E(τ)|.
+func (e Envelope) Width(tau simtime.Time) simtime.Duration {
+	lo, hi := e.At(tau)
+	return hi - lo
+}
+
+// Contains reports whether a bias value lies inside E(τ).
+func (e Envelope) Contains(tau simtime.Time, bias simtime.Duration) bool {
+	lo, hi := e.At(tau)
+	return bias >= lo && bias <= hi
+}
+
+// Extend returns E + c, the envelope widened by c on both sides
+// (Appendix A notation).
+func (e Envelope) Extend(c simtime.Duration) Envelope {
+	if c < 0 {
+		panic(fmt.Sprintf("analysis: negative extension %v", c))
+	}
+	return Envelope{T0: e.T0, Lo: e.Lo - c, Hi: e.Hi + c, Rho: e.Rho}
+}
+
+// Avg returns avg(E, E′) = Env{τ0, [(a+a′)/2, (b+b′)/2]}. Both envelopes
+// must share τ0 and ρ; the proof only ever averages aligned envelopes. The
+// key property (Appendix A): if β ∈ E(τ) and β′ ∈ E′(τ) then
+// (β+β′)/2 ∈ avg(E,E′)(τ).
+func Avg(e, f Envelope) Envelope {
+	if e.T0 != f.T0 || e.Rho != f.Rho {
+		panic("analysis: averaging misaligned envelopes")
+	}
+	return Envelope{T0: e.T0, Lo: (e.Lo + f.Lo) / 2, Hi: (e.Hi + f.Hi) / 2, Rho: e.Rho}
+}
+
+// Rebase returns the envelope re-anchored at a later instant t1 with the
+// same region from t1 onward: Env{t1, E(t1)}.
+func (e Envelope) Rebase(t1 simtime.Time) Envelope {
+	lo, hi := e.At(t1)
+	return Envelope{T0: t1, Lo: lo, Hi: hi, Rho: e.Rho}
+}
+
+// ContainsEnvelope reports whether f's region from f.T0 onward lies within
+// e's region (e defined at f.T0 or earlier). Because both boundaries are
+// affine with slopes ±ρ and the slopes match, containment at f.T0 implies
+// containment forever.
+func (e Envelope) ContainsEnvelope(f Envelope) bool {
+	if f.T0 < e.T0 || e.Rho != f.Rho {
+		return false
+	}
+	lo, hi := e.At(f.T0)
+	return f.Lo >= lo && f.Hi <= hi
+}
+
+// String formats the envelope.
+func (e Envelope) String() string {
+	return fmt.Sprintf("Env{%v, [%v, %v], ρ=%g}", e.T0, e.Lo, e.Hi, e.Rho)
+}

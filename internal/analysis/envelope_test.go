@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clocksync/internal/simtime"
+)
+
+func TestEnvelopeAt(t *testing.T) {
+	e := NewEnvelope(100, -2, 3, 0.01)
+	lo, hi := e.At(100)
+	if lo != -2 || hi != 3 {
+		t.Fatalf("At(τ0): got [%v, %v]", lo, hi)
+	}
+	lo, hi = e.At(200)
+	if math.Abs(float64(lo)-(-3)) > 1e-12 || math.Abs(float64(hi)-4) > 1e-12 {
+		t.Fatalf("At(τ0+100): got [%v, %v]", lo, hi)
+	}
+	if w := e.Width(200); math.Abs(float64(w)-7) > 1e-12 {
+		t.Fatalf("Width: got %v", w)
+	}
+}
+
+func TestEnvelopeQueryBeforeT0Panics(t *testing.T) {
+	e := NewEnvelope(100, 0, 1, 0.01)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(99)
+}
+
+func TestEnvelopeConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewEnvelope(0, 2, 1, 0.1) },
+		func() { NewEnvelope(0, 0, 1, -0.1) },
+		func() { NewEnvelope(0, 0, 1, 0.1).Extend(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEnvelopeContains(t *testing.T) {
+	e := NewEnvelope(0, -1, 1, 0.1)
+	if !e.Contains(0, 0) || !e.Contains(0, 1) || !e.Contains(0, -1) {
+		t.Fatal("boundary containment")
+	}
+	if e.Contains(0, 1.001) {
+		t.Fatal("exterior containment")
+	}
+	// At τ=10 the envelope is [−2, 2].
+	if !e.Contains(10, 1.9) || e.Contains(10, 2.1) {
+		t.Fatal("widened containment")
+	}
+}
+
+func TestEnvelopeExtend(t *testing.T) {
+	e := NewEnvelope(5, -1, 1, 0.01).Extend(2)
+	lo, hi := e.At(5)
+	if lo != -3 || hi != 3 {
+		t.Fatalf("Extend: got [%v, %v]", lo, hi)
+	}
+}
+
+func TestAvgProperty(t *testing.T) {
+	// If β ∈ E(τ) and β′ ∈ E′(τ) then (β+β′)/2 ∈ avg(E,E′)(τ) — the key
+	// fact the proof uses when the convergence function averages biases.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		rho := rng.Float64() * 0.01
+		mk := func() Envelope {
+			a := simtime.Duration(rng.Float64()*10 - 5)
+			b := a + simtime.Duration(rng.Float64()*10)
+			return NewEnvelope(0, a, b, rho)
+		}
+		e, f := mk(), mk()
+		avg := Avg(e, f)
+		tau := simtime.Time(rng.Float64() * 100)
+		pick := func(env Envelope) simtime.Duration {
+			lo, hi := env.At(tau)
+			return lo + simtime.Duration(rng.Float64())*(hi-lo)
+		}
+		be, bf := pick(e), pick(f)
+		if !avg.Contains(tau, (be+bf)/2) {
+			t.Fatalf("avg property violated: trial %d", trial)
+		}
+	}
+}
+
+func TestAvgMisalignedPanics(t *testing.T) {
+	e := NewEnvelope(0, 0, 1, 0.1)
+	f := NewEnvelope(1, 0, 1, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Avg(e, f)
+}
+
+func TestRebase(t *testing.T) {
+	e := NewEnvelope(0, -1, 1, 0.1)
+	r := e.Rebase(10)
+	if r.T0 != 10 {
+		t.Fatalf("rebase T0: %v", r.T0)
+	}
+	// The rebased envelope matches the original from τ=10 onward.
+	for _, tau := range []simtime.Time{10, 20, 55} {
+		lo1, hi1 := e.At(tau)
+		lo2, hi2 := r.At(tau)
+		if math.Abs(float64(lo1-lo2)) > 1e-12 || math.Abs(float64(hi1-hi2)) > 1e-12 {
+			t.Fatalf("rebase mismatch at %v", tau)
+		}
+	}
+}
+
+func TestContainsEnvelope(t *testing.T) {
+	e := NewEnvelope(0, -10, 10, 0.1)
+	inner := NewEnvelope(5, -2, 2, 0.1)
+	if !e.ContainsEnvelope(inner) {
+		t.Fatal("inner must be contained")
+	}
+	outer := NewEnvelope(5, -20, 2, 0.1)
+	if e.ContainsEnvelope(outer) {
+		t.Fatal("outer must not be contained")
+	}
+	earlier := NewEnvelope(-1, 0, 0, 0.1)
+	if e.ContainsEnvelope(earlier) {
+		t.Fatal("envelope anchored before e.T0 must not be contained")
+	}
+	wrongRho := NewEnvelope(5, -2, 2, 0.2)
+	if e.ContainsEnvelope(wrongRho) {
+		t.Fatal("mismatched rho must not be contained")
+	}
+}
+
+func TestContainsEnvelopeIsForeverProperty(t *testing.T) {
+	// Containment checked at f.T0 must persist at all later instants.
+	f := func(loU, hiU, innerLoU, innerHiU, tauU uint16) bool {
+		rho := 0.05
+		lo := simtime.Duration(loU)/100 - 300
+		hi := lo + simtime.Duration(hiU)/100
+		e := NewEnvelope(0, lo, hi, rho)
+		il := lo + simtime.Duration(innerLoU)/200
+		ih := il + simtime.Duration(innerHiU)/200
+		inner := NewEnvelope(10, il, ih, rho)
+		if !e.ContainsEnvelope(inner) {
+			return true // vacuous
+		}
+		tau := simtime.Time(10 + float64(tauU))
+		elo, ehi := e.At(tau)
+		flo, fhi := inner.At(tau)
+		return flo >= elo-1e-9 && fhi <= ehi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvelopeWideningMatchesDriftLemma(t *testing.T) {
+	// The motivation for Definition 6: a clock that is not reset and has
+	// drift ≤ ρ, starting with bias in [a,b], stays inside the envelope.
+	// Simulate biases b(τ) = b0 + r·τ for |r| ≤ ρ.
+	rng := rand.New(rand.NewSource(4))
+	e := NewEnvelope(0, -1, 1, 0.01)
+	for trial := 0; trial < 200; trial++ {
+		b0 := simtime.Duration(rng.Float64()*2 - 1)
+		r := (rng.Float64()*2 - 1) * 0.01
+		for tau := simtime.Time(0); tau <= 100; tau += 5 {
+			bias := b0 + simtime.Duration(r*float64(tau))
+			if !e.Contains(tau, bias) {
+				t.Fatalf("drifting bias escaped envelope: b0=%v r=%v τ=%v", b0, r, tau)
+			}
+		}
+	}
+}
+
+func TestEnvelopeString(t *testing.T) {
+	s := NewEnvelope(0, -1, 1, 0.01).String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/simtime"
+)
+
+// Provision solves the inverse problem a deployer actually has: "I need the
+// clocks within targetDelta of each other; my hardware drifts at ρ and my
+// adversary period is Θ — what network and protocol parameters do I need?"
+//
+// It picks SyncInt = Θ/20 (the §4.1 sweet spot where the 2^−K accuracy
+// penalty is already negligible) and then solves Δ(δ) = targetDelta for the
+// message-delay bound δ, with MaxWait = 2δ. The returned parameters
+// validate, and Derive on them meets the target. It fails when the target
+// is unreachable for this (ρ, Θ): the drift term 18ρT alone can exceed the
+// budget, in which case no network is fast enough and the deployment needs
+// a shorter sync interval than Θ/20 permits or better oscillators.
+func Provision(targetDelta simtime.Duration, rho float64, theta simtime.Duration) (Params, error) {
+	if targetDelta <= 0 || theta <= 0 || rho < 0 {
+		return Params{}, fmt.Errorf("analysis: invalid provisioning inputs (Δ=%v, ρ=%v, Θ=%v)", targetDelta, rho, theta)
+	}
+	// Try progressively more aggressive sync intervals: Θ/20 is preferred
+	// (near-optimal accuracy), but a tight deviation target under heavy
+	// drift may need more frequent synchronization.
+	for _, kTarget := range []float64{20, 40, 80, 160} {
+		syncInt := simtime.Duration(float64(theta) / kTarget)
+		p, ok := solveDelta(targetDelta, rho, theta, syncInt)
+		if !ok {
+			continue
+		}
+		if err := Validate(p); err != nil {
+			continue
+		}
+		if b := MustDerive(p); b.MaxDeviation <= targetDelta {
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf(
+		"analysis: no feasible parameters reach Δ=%v with ρ=%g, Θ=%v — the drift term alone exceeds the budget",
+		targetDelta, rho, theta)
+}
+
+// solveDelta fixed-point iterates Δ(δ) = target for δ at a given SyncInt.
+// It solves for 99.5% of the target so the returned parameters sit strictly
+// inside the budget rather than on its floating-point edge.
+func solveDelta(target simtime.Duration, rho float64, theta, syncInt simtime.Duration) (Params, bool) {
+	goal := 0.995 * float64(target)
+	// Initial guess: ignore drift and residue, Δ ≈ 16ε = 16(1+ρ)δ.
+	delta := goal / (16 * (1 + rho))
+	for iter := 0; iter < 32; iter++ {
+		maxWait := 2 * delta
+		t := (1+rho)*float64(syncInt) + 2*maxWait
+		k := math.Floor(float64(theta) / t)
+		if k < 5 {
+			return Params{}, false
+		}
+		eps := (1 + rho) * maxWait / 2
+		c := (17*eps + 18*rho*t) / math.Pow(2, k-3)
+		// Solve 16ε + 18ρT + 4C = goal for ε (and hence δ), holding the
+		// T- and C-valuations from the current iterate.
+		budget := goal - 18*rho*t - 4*c
+		if budget <= 0 {
+			return Params{}, false
+		}
+		next := budget / (16 * (1 + rho))
+		if math.Abs(next-delta) < 1e-12 {
+			delta = next
+			break
+		}
+		delta = next
+	}
+	if delta <= 0 {
+		return Params{}, false
+	}
+	return Params{
+		N:       4, // resilience is the caller's choice; 4 = minimal f=1
+		F:       1,
+		Rho:     rho,
+		Delta:   simtime.Duration(delta),
+		Theta:   theta,
+		SyncInt: syncInt,
+		MaxWait: simtime.Duration(2 * delta),
+	}, true
+}

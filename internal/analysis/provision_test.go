@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/simtime"
+)
+
+func TestProvisionMeetsTarget(t *testing.T) {
+	cases := []struct {
+		target simtime.Duration
+		rho    float64
+		theta  simtime.Duration
+	}{
+		{simtime.Second, 1e-4, 30 * simtime.Minute},
+		{100 * simtime.Millisecond, 1e-6, 10 * simtime.Minute},
+		{10 * simtime.Millisecond, 1e-6, 5 * simtime.Minute},
+		{2 * simtime.Second, 1e-3, simtime.Hour},
+	}
+	for _, tc := range cases {
+		p, err := Provision(tc.target, tc.rho, tc.theta)
+		if err != nil {
+			t.Fatalf("Provision(%v, %g, %v): %v", tc.target, tc.rho, tc.theta, err)
+		}
+		if err := Validate(p); err != nil {
+			t.Fatalf("provisioned params invalid: %v", err)
+		}
+		b := MustDerive(p)
+		if b.MaxDeviation > tc.target {
+			t.Fatalf("Provision(%v): derived Δ=%v exceeds the target", tc.target, b.MaxDeviation)
+		}
+		// The solution should not be needlessly conservative: within 40% of
+		// the budget (the K-ladder quantizes SyncInt, so exact tightness is
+		// not expected).
+		if float64(b.MaxDeviation) < 0.6*float64(tc.target) {
+			t.Fatalf("Provision(%v): Δ=%v wastes most of the budget", tc.target, b.MaxDeviation)
+		}
+	}
+}
+
+func TestProvisionInfeasible(t *testing.T) {
+	// 1 ms target with 10⁻³ drift and a 1 h period: the drift term alone
+	// (18ρT with T ≥ Θ/160) is ≈ 0.4 s — hopeless.
+	if _, err := Provision(simtime.Millisecond, 1e-3, simtime.Hour); err == nil {
+		t.Fatal("impossible target accepted")
+	}
+	if _, err := Provision(0, 1e-4, simtime.Hour); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := Provision(simtime.Second, -1, simtime.Hour); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+	if _, err := Provision(simtime.Second, 1e-4, 0); err == nil {
+		t.Fatal("zero theta accepted")
+	}
+}
+
+func TestProvisionPropertyAlwaysSound(t *testing.T) {
+	// Whatever Provision returns must derive a Δ at or under the target.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		target := simtime.Duration(0.005 + rng.Float64()*5)
+		rho := []float64{0, 1e-6, 1e-5, 1e-4}[rng.Intn(4)]
+		theta := simtime.Duration(120 + rng.Float64()*7200)
+		p, err := Provision(target, rho, theta)
+		if err != nil {
+			continue // infeasible is a legal answer
+		}
+		b, err := Derive(p)
+		if err != nil {
+			t.Fatalf("trial %d: provisioned params do not derive: %v", trial, err)
+		}
+		if b.MaxDeviation > target {
+			t.Fatalf("trial %d: Δ=%v > target %v", trial, b.MaxDeviation, target)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package asciiplot renders time series and bar charts as fixed-width text.
+// The benchmark harness uses it to print figure-shaped output (deviation
+// over time, recovery trajectories) next to the tables, so every "figure"
+// experiment produces something a terminal can show.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	// YLabel/XLabel annotate the axes.
+	YLabel, XLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// Line renders one or more series over a shared x axis. Series are drawn
+// with distinct glyphs in order: '*', '+', 'o', 'x', '#'.
+func Line(xs []float64, series map[string][]float64, opts Options) string {
+	opts = opts.withDefaults()
+	if len(xs) == 0 || len(series) == 0 {
+		return "(no data)\n"
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#'}
+
+	// Stable series order: sorted by name.
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sortStrings(names)
+
+	xmin, xmax := minMax(xs)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, name := range names {
+		lo, hi := minMax(series[name])
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if ymin == ymax {
+		ymin -= 1
+		ymax += 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, name := range names {
+		g := glyphs[si%len(glyphs)]
+		ys := series[name]
+		for i, x := range xs {
+			if i >= len(ys) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(opts.Width-1)))
+			row := int(math.Round((ymax - ys[i]) / (ymax - ymin) * float64(opts.Height-1)))
+			if col >= 0 && col < opts.Width && row >= 0 && row < opts.Height {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opts.YLabel)
+	}
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g", ymax)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%10.3g", ymin)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%s  %-10.3g%s%10.3g\n", strings.Repeat(" ", 10), xmin,
+		strings.Repeat(" ", maxInt(1, opts.Width-20)), xmax)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "%s  (%s)\n", strings.Repeat(" ", 10), opts.XLabel)
+	}
+	if len(names) > 1 {
+		b.WriteString(strings.Repeat(" ", 12))
+		for si, name := range names {
+			fmt.Fprintf(&b, "%c=%s  ", glyphs[si%len(glyphs)], name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart of labeled values.
+func Bars(labels []string, values []float64, opts Options) string {
+	opts = opts.withDefaults()
+	if len(labels) != len(values) || len(labels) == 0 {
+		return "(no data)\n"
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if math.Abs(v) > maxVal {
+			maxVal = math.Abs(v)
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(math.Abs(v) / maxVal * float64(opts.Width)))
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", maxLabel, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

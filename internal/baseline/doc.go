@@ -1,0 +1,32 @@
+// Package baseline implements the comparator protocols the paper positions
+// itself against (§1.1, §3.3). They exist to reproduce the paper's
+// qualitative comparisons, not to be faithful line-by-line reproductions of
+// their sources; each type documents its simplifications.
+//
+//   - BoundedCF — a convergence-function synchronizer in the style of
+//     Fetzer–Cristian '95: same trimmed-range midpoint as Sync but with the
+//     per-round correction clamped to a small maximum (their design goal of
+//     minimal correction). Recovery of a far-off clock is linear in the
+//     offset at best, and stalls entirely when the clamp is small (E4).
+//
+//   - RoundMidpoint — a round-based fault-tolerant midpoint synchronizer in
+//     the style of Welch–Lynch '88. Clock readings are only answered for the
+//     requester's current-or-adjacent round, which is exactly what round-
+//     based protocols provide (§3.3): a processor whose clock places it in a
+//     far-away round gets no usable answers and cannot rejoin.
+//
+//   - SrikanthToueg — an authenticated-broadcast resynchronizer in the style
+//     of Srikanth–Toueg '87: broadcast a tick when the local clock reaches a
+//     round boundary, resynchronize upon f+1 ticks. A processor whose clock
+//     is far behind is dragged forward by others' ticks, but one far ahead
+//     ignores "stale" ticks and is lost forever.
+//
+//   - BroadcastJoin — a signed-broadcast synchronizer in the style of
+//     Dolev–Halpern–Simons–Strong '95: every interval each processor
+//     broadcasts its clock and every receiver relays it once (the signature
+//     chain is simulated by message size). Message complexity per full
+//     exchange is Θ(n²) per origin versus Θ(n) for Sync (E8).
+//
+//   - NTPSlew — an NTP-flavored client: min-RTT-of-k offset filtering,
+//     median across peers, rate-limited slew with a step threshold.
+package baseline

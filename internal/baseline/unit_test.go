@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"clocksync/internal/clock"
+	"clocksync/internal/des"
+	"clocksync/internal/network"
+	"clocksync/internal/protocol"
+	"clocksync/internal/simtime"
+)
+
+// unitRig wires n harnesses with perfect clocks and constant 1 ms delay.
+type unitRig struct {
+	sim *des.Sim
+	net *network.Network
+	hs  []*protocol.Harness
+}
+
+func newUnitRig(t *testing.T, n int) *unitRig {
+	t.Helper()
+	sim := des.New(7)
+	net := network.New(sim, network.NewFullMesh(n), network.ConstantDelay{D: simtime.Millisecond})
+	hs := make([]*protocol.Harness, n)
+	for i := 0; i < n; i++ {
+		hs[i] = protocol.NewHarness(i, sim, net, clock.NewLocal(clock.NewDrifting(0, 0, 1)))
+	}
+	return &unitRig{sim: sim, net: net, hs: hs}
+}
+
+func TestTrimmedMidpointStepMath(t *testing.T) {
+	est := func(d float64) protocol.Estimate {
+		return protocol.Estimate{D: simtime.Duration(d), OK: true}
+	}
+	// f=1, values {0(self), 2, 4, 100}: m = 2nd smallest = 2, M = 2nd
+	// largest = 4 → (min(2,0)+max(4,0))/2 = 2.
+	delta, ok := trimmedMidpointStep(1, []protocol.Estimate{est(0), est(2), est(4), est(100)})
+	if !ok || math.Abs(float64(delta)-2) > 1e-12 {
+		t.Fatalf("got (%v, %v), want 2", delta, ok)
+	}
+	// Unlike Sync there is no WayOff escape: a far range still averages
+	// with the own clock (never jumps fully).
+	delta, ok = trimmedMidpointStep(1, []protocol.Estimate{est(0), est(999), est(1000), est(1001)})
+	if !ok || math.Abs(float64(delta)-500) > 1e-12 {
+		t.Fatalf("far range: got (%v, %v), want 500 (half-way)", delta, ok)
+	}
+	if _, ok := trimmedMidpointStep(2, []protocol.Estimate{est(0), est(1)}); ok {
+		t.Fatal("too few estimates accepted")
+	}
+	if _, ok := trimmedMidpointStep(1, []protocol.Estimate{
+		est(0), protocol.FailedEstimate(1), protocol.FailedEstimate(2)}); ok {
+		t.Fatal("all-infinite trim accepted")
+	}
+}
+
+func TestRoundMidpointAnswersOnlyAdjacentRounds(t *testing.T) {
+	r := newUnitRig(t, 2)
+	node := NewRoundMidpoint(r.hs[0], RoundMidpointConfig{
+		F: 0, RoundLen: 10, MaxWait: 1,
+	}, []int{1})
+	node.Start() // current round 0 at clock 0
+
+	// A raw RoundReq from peer 1 for an adjacent round gets an answer; a
+	// far-round request is refused.
+	var responses []protocol.Estimate
+	r.hs[1].Custom = func(msg network.Message) {
+		if resp, ok := msg.Payload.(RoundResp); ok {
+			responses = append(responses, protocol.Estimate{D: simtime.Duration(resp.Clock), OK: true})
+		}
+	}
+	r.sim.At(1, func() { r.net.Send(1, 0, RoundReq{Nonce: 1, Round: 0}) })
+	r.sim.At(2, func() { r.net.Send(1, 0, RoundReq{Nonce: 2, Round: 1}) })  // adjacent
+	r.sim.At(3, func() { r.net.Send(1, 0, RoundReq{Nonce: 3, Round: 50}) }) // far epoch
+	r.sim.RunUntil(5)
+	if len(responses) != 2 {
+		t.Fatalf("got %d responses, want 2 (adjacent rounds only)", len(responses))
+	}
+}
+
+func TestSrikanthTouegQuorumLogic(t *testing.T) {
+	r := newUnitRig(t, 4)
+	node := NewSrikanthToueg(r.hs[0], STConfig{F: 1, Period: 10, Alpha: 0.01}, []int{1, 2, 3})
+	node.Start()
+
+	// One tick for round 3 is below the f+1=2 quorum; a second sender
+	// triggers acceptance and the clock jumps to 3·10+α.
+	r.sim.At(1, func() { r.net.Send(1, 0, Tick{Round: 3}) })
+	r.sim.RunUntil(2)
+	if node.Resyncs != 0 {
+		t.Fatal("accepted below quorum")
+	}
+	r.sim.At(3, func() { r.net.Send(2, 0, Tick{Round: 3}) })
+	r.sim.RunUntil(4)
+	if node.Resyncs != 1 {
+		t.Fatal("quorum not accepted")
+	}
+	// Accepted at τ = 3.001 (delivery), clock set to 3·10+α = 30.01, then
+	// advances normally: at τ = 4 it reads 30.01 + 0.999.
+	if got := float64(r.hs[0].Clock().Now(4)); math.Abs(got-31.009) > 1e-9 {
+		t.Fatalf("clock after resync: got %v, want 31.009", got)
+	}
+	// Stale ticks (≤ current round) are ignored even from many senders.
+	r.sim.At(5, func() {
+		r.net.Send(1, 0, Tick{Round: 2})
+		r.net.Send(2, 0, Tick{Round: 2})
+		r.net.Send(3, 0, Tick{Round: 2})
+	})
+	r.sim.RunUntil(6)
+	if node.Resyncs != 1 {
+		t.Fatal("stale ticks accepted")
+	}
+	// Duplicate senders must not fake a quorum.
+	r.sim.At(7, func() {
+		r.net.Send(1, 0, Tick{Round: 9})
+		r.net.Send(1, 0, Tick{Round: 9})
+		r.net.Send(1, 0, Tick{Round: 9})
+	})
+	r.sim.RunUntil(8)
+	if node.Resyncs != 1 {
+		t.Fatal("duplicate senders counted toward quorum")
+	}
+}
+
+func TestBroadcastJoinRelayAndDedup(t *testing.T) {
+	r := newUnitRig(t, 4)
+	node := NewBroadcastJoin(r.hs[1], BroadcastJoinConfig{
+		F: 1, SyncInt: 10, HopDelay: 0.001,
+	}, []int{0, 2, 3})
+	node.Start()
+
+	// Count what node 1 relays to nodes 2 and 3.
+	relayed := 0
+	hop2 := 0
+	handler := func(msg network.Message) {
+		if bc, ok := msg.Payload.(TimeBcast); ok && msg.From == 1 {
+			relayed++
+			if bc.Hops == 2 {
+				hop2++
+			}
+		}
+	}
+	r.hs[2].Custom = handler
+	r.hs[3].Custom = handler
+
+	bcast := TimeBcast{Origin: 0, Seq: 1, Clock: 5, Hops: 1}
+	r.sim.At(1, func() { r.net.Send(0, 1, bcast) })
+	r.sim.At(2, func() { r.net.Send(0, 1, bcast) }) // duplicate — no re-relay
+	r.sim.RunUntil(4)
+	if relayed != 2 || hop2 != 2 {
+		t.Fatalf("relay: got %d messages (%d at hop 2), want 2 at hop 2", relayed, hop2)
+	}
+	// Hop-2 messages are terminal: they must not be relayed again.
+	r.sim.At(5, func() { r.net.Send(0, 1, TimeBcast{Origin: 3, Seq: 9, Clock: 5, Hops: 2}) })
+	r.sim.RunUntil(7)
+	if relayed != 2 {
+		t.Fatalf("hop-2 message was re-relayed (%d)", relayed)
+	}
+}
+
+func TestTimeBcastWireSizeGrowsWithHops(t *testing.T) {
+	one := TimeBcast{Hops: 1}.WireSize()
+	two := TimeBcast{Hops: 2}.WireSize()
+	if two <= one {
+		t.Fatalf("signature chain not reflected: %d vs %d", one, two)
+	}
+}

@@ -1,0 +1,286 @@
+package clock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clocksync/internal/simtime"
+)
+
+func TestDriftingRead(t *testing.T) {
+	c := NewDrifting(100, 50, 1.0)
+	if got := c.Read(100); got != 50 {
+		t.Fatalf("Read at origin: got %v, want 50", got)
+	}
+	if got := c.Read(110); got != 60 {
+		t.Fatalf("Read: got %v, want 60", got)
+	}
+	fast := NewDrifting(0, 0, 1.5)
+	if got := fast.Read(10); got != 15 {
+		t.Fatalf("fast Read: got %v, want 15", got)
+	}
+}
+
+func TestDriftingRealAtInvertsRead(t *testing.T) {
+	f := func(originU, offsetU, slopeU, targetU float64) bool {
+		if anyBad(originU, offsetU, slopeU, targetU) {
+			return true
+		}
+		origin := simtime.Time(math.Mod(originU, 1e6))
+		offset := simtime.Time(math.Mod(offsetU, 1e6))
+		slope := 0.5 + math.Mod(math.Abs(slopeU), 1.0) // [0.5, 1.5)
+		c := NewDrifting(origin, offset, slope)
+		target := offset + simtime.Time(math.Mod(math.Abs(targetU), 1e6))
+		tau := c.RealAt(target, origin)
+		reading := c.Read(tau)
+		return math.Abs(float64(reading-target)) < 1e-6 || tau == origin
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftingRealAtClampsToAfter(t *testing.T) {
+	c := NewDrifting(0, 0, 1.0)
+	// Clock reads 100 at τ=100; asking for target 50 after τ=80 clamps.
+	if got := c.RealAt(50, 80); got != 80 {
+		t.Fatalf("RealAt clamp: got %v, want 80", got)
+	}
+}
+
+func TestNonPositiveSlopePanics(t *testing.T) {
+	for _, slope := range []float64{0, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("slope %v must panic", slope)
+				}
+			}()
+			NewDrifting(0, 0, slope)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("piecewise zero slope must panic")
+			}
+		}()
+		NewPiecewise(0, 0, 0)
+	}()
+}
+
+func TestPiecewiseContinuity(t *testing.T) {
+	c := NewPiecewise(0, 0, 1.0)
+	c.ChangeSlope(10, 1.5)
+	c.ChangeSlope(20, 0.8)
+	// H(10) = 10; H(20) = 10 + 1.5·10 = 25; H(30) = 25 + 0.8·10 = 33.
+	cases := []struct {
+		at   simtime.Time
+		want simtime.Time
+	}{
+		{0, 0}, {5, 5}, {10, 10}, {15, 17.5}, {20, 25}, {30, 33},
+	}
+	for _, tc := range cases {
+		if got := c.Read(tc.at); math.Abs(float64(got-tc.want)) > 1e-9 {
+			t.Errorf("Read(%v): got %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestPiecewiseReadBeforeOriginExtrapolates(t *testing.T) {
+	c := NewPiecewise(10, 100, 2.0)
+	if got := c.Read(5); got != 90 {
+		t.Fatalf("backward extrapolation: got %v, want 90", got)
+	}
+}
+
+func TestPiecewiseChangeSlopeOutOfOrderPanics(t *testing.T) {
+	c := NewPiecewise(0, 0, 1.0)
+	c.ChangeSlope(10, 1.2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order ChangeSlope must panic")
+		}
+	}()
+	c.ChangeSlope(5, 1.1)
+}
+
+func TestPiecewiseRealAt(t *testing.T) {
+	c := NewPiecewise(0, 0, 1.0)
+	c.ChangeSlope(10, 2.0) // H(10)=10
+	c.ChangeSlope(20, 0.5) // H(20)=30
+	cases := []struct {
+		target simtime.Time
+		want   simtime.Time
+	}{
+		{5, 5},   // first segment
+		{10, 10}, // boundary
+		{20, 15}, // second segment: 10 + (20−10)/2
+		{30, 20}, // boundary
+		{35, 30}, // third segment: 20 + (35−30)/0.5
+	}
+	for _, tc := range cases {
+		got := c.RealAt(tc.target, 0)
+		if math.Abs(float64(got-tc.want)) > 1e-9 {
+			t.Errorf("RealAt(%v): got %v, want %v", tc.target, got, tc.want)
+		}
+		// Round-trip: reading at the returned time matches the target.
+		if r := c.Read(got); math.Abs(float64(r-tc.target)) > 1e-9 {
+			t.Errorf("RealAt(%v) round trip: Read=%v", tc.target, r)
+		}
+	}
+}
+
+func TestPiecewiseRealAtRespectsAfter(t *testing.T) {
+	c := NewPiecewise(0, 0, 1.0)
+	if got := c.RealAt(5, 8); got != 8 {
+		t.Fatalf("RealAt with past target: got %v, want 8", got)
+	}
+}
+
+func TestPiecewiseMonotoneProperty(t *testing.T) {
+	// Random piecewise clocks must be strictly increasing and RealAt must
+	// invert Read, for any sequence of legal slope changes.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		c := NewPiecewise(0, simtime.Time(rng.Float64()*100), 0.9+rng.Float64()*0.2)
+		at := simtime.Time(0)
+		for i := 0; i < 5; i++ {
+			at += simtime.Time(rng.Float64() * 50)
+			c.ChangeSlope(at, 0.9+rng.Float64()*0.2)
+		}
+		prev := c.Read(0)
+		for tau := simtime.Time(1); tau < 300; tau += 1 {
+			cur := c.Read(tau)
+			if cur <= prev {
+				t.Fatalf("trial %d: clock not strictly increasing at τ=%v", trial, tau)
+			}
+			prev = cur
+			inv := c.RealAt(cur, 0)
+			if math.Abs(float64(inv-tau)) > 1e-6 {
+				t.Fatalf("trial %d: RealAt(Read(%v)) = %v", trial, tau, inv)
+			}
+		}
+	}
+}
+
+func TestSlopeBounds(t *testing.T) {
+	lo, hi := SlopeBounds(0.01)
+	if math.Abs(lo-1/1.01) > 1e-12 || math.Abs(hi-1.01) > 1e-12 {
+		t.Fatalf("SlopeBounds: got (%v, %v)", lo, hi)
+	}
+}
+
+func TestEquationTwoHolds(t *testing.T) {
+	// A clock with slope inside SlopeBounds(ρ) must satisfy Equation 2 for
+	// all interval pairs.
+	rho := 0.05
+	lo, hi := SlopeBounds(rho)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		slope := lo + rng.Float64()*(hi-lo)
+		c := NewDrifting(0, 0, slope)
+		t1 := simtime.Time(rng.Float64() * 1000)
+		t2 := t1 + simtime.Time(rng.Float64()*1000)
+		dH := float64(c.Read(t2) - c.Read(t1))
+		dT := float64(t2 - t1)
+		if dH < dT/(1+rho)-1e-9 || dH > dT*(1+rho)+1e-9 {
+			t.Fatalf("Equation 2 violated: slope=%v dT=%v dH=%v", slope, dT, dH)
+		}
+	}
+}
+
+func TestQuantized(t *testing.T) {
+	q := NewQuantized(NewDrifting(0, 0, 1.0), 0.25)
+	cases := []struct {
+		at   simtime.Time
+		want simtime.Time
+	}{
+		{0, 0}, {0.1, 0}, {0.25, 0.25}, {0.6, 0.5}, {1.01, 1.0},
+	}
+	for _, tc := range cases {
+		if got := q.Read(tc.at); math.Abs(float64(got-tc.want)) > 1e-12 {
+			t.Errorf("Read(%v): got %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	// Readings are monotone non-decreasing and within one tick of the truth.
+	prev := q.Read(0)
+	for tau := simtime.Time(0); tau < 10; tau += 0.07 {
+		got := q.Read(tau)
+		if got < prev {
+			t.Fatalf("quantized clock went backwards at %v", tau)
+		}
+		raw := q.HW.Read(tau)
+		if raw-got < 0 || raw-got >= 0.25+1e-12 {
+			t.Fatalf("quantization error out of range at %v: raw=%v got=%v", tau, raw, got)
+		}
+		prev = got
+	}
+	// RealAt delegates to the smooth clock.
+	if got := q.RealAt(5, 0); math.Abs(float64(got-5)) > 1e-12 {
+		t.Fatalf("RealAt: got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero tick must panic")
+		}
+	}()
+	NewQuantized(NewDrifting(0, 0, 1), 0)
+}
+
+func TestQuantizedLocalClockStillSynchronizes(t *testing.T) {
+	// A Local over a quantized hardware clock keeps working (the tick just
+	// adds reading error).
+	l := NewLocal(NewQuantized(NewDrifting(0, 0, 1.0), 0.001))
+	l.Adjust(1)
+	if got := l.Now(5.0005); math.Abs(float64(got-6.0)) > 1e-9 {
+		t.Fatalf("quantized local: got %v", got)
+	}
+}
+
+func TestLocalClock(t *testing.T) {
+	hw := NewDrifting(0, 0, 1.0)
+	l := NewLocal(hw)
+	if got := l.Now(10); got != 10 {
+		t.Fatalf("Now: got %v", got)
+	}
+	l.Adjust(5)
+	if got := l.Now(10); got != 15 {
+		t.Fatalf("Now after Adjust: got %v", got)
+	}
+	if got := l.Bias(10); got != 5 {
+		t.Fatalf("Bias: got %v", got)
+	}
+	l.Adjust(-2)
+	if got := l.Adj(); got != 3 {
+		t.Fatalf("Adj accumulation: got %v", got)
+	}
+	l.SetAdj(-7)
+	if got := l.Bias(10); got != -7 {
+		t.Fatalf("Bias after SetAdj: got %v", got)
+	}
+	if l.Hardware() != hw {
+		t.Fatal("Hardware accessor broken")
+	}
+}
+
+func TestBiasTracksDrift(t *testing.T) {
+	// With slope 1+r the bias of an unadjusted clock grows linearly at rate r.
+	l := NewLocal(NewDrifting(0, 0, 1.001))
+	b1 := l.Bias(100)
+	b2 := l.Bias(200)
+	if math.Abs(float64(b2-b1)-0.1) > 1e-9 {
+		t.Fatalf("bias growth: got %v, want 0.1", b2-b1)
+	}
+}
+
+func anyBad(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

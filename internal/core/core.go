@@ -1,0 +1,334 @@
+// Package core implements the paper's contribution: the Sync clock
+// synchronization protocol of Figure 1.
+//
+// Every SyncInt units of local time, a processor estimates the clock offset
+// of every peer (plus itself, trivially 0±0), turns each estimate into an
+// overestimate d̄ = d+a and an underestimate d̲ = d−a, and computes
+//
+//	m = the (f+1)-st smallest overestimate
+//	M = the (f+1)-st largest underestimate
+//
+// The trimming discards anything f Byzantine processors can fabricate: at
+// least one of the f+1 smallest overestimates is honest, so m is at least
+// the smallest honest offset (and symmetrically for M). Then:
+//
+//	if m ≥ −WayOff and M ≤ WayOff:   adj += (min(m,0) + max(M,0))/2
+//	else:                            adj += (m+M)/2
+//
+// The first branch is the normal case — the clock moves halfway toward the
+// trimmed range, never ignoring its own current value. The second branch is
+// what makes recovery work: a processor that finds itself WayOff-far from
+// the others concludes its own clock is worthless and jumps to the midpoint
+// of the trimmed range. Minimal-correction convergence functions (e.g.
+// Fetzer–Cristian '95) lack this escape hatch, which is exactly why they may
+// never re-synchronize a recovered processor (§1.1).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/protocol"
+	"clocksync/internal/simtime"
+)
+
+// Config parameterizes a Sync node. The constraints (§3.2): SyncInt ≥
+// 2·MaxWait ≥ 4δ and WayOff ≥ Δ + ε. Values may overestimate the true
+// network constants by a multiplicative factor without much harm (§3.3,
+// "Known values"); experiment E11 quantifies that claim.
+type Config struct {
+	F       int              // trimming depth = per-period fault budget
+	SyncInt simtime.Duration // local time between Sync executions
+	MaxWait simtime.Duration // estimation timeout
+	WayOff  simtime.Duration // own-clock rejection threshold
+	// FirstSync is the local-time offset of the first execution. The
+	// protocol makes no assumption about the relative phase of different
+	// processors' Syncs (§3.3); scenarios stagger nodes with this.
+	FirstSync simtime.Duration
+
+	// DriftComp enables the NTP-style drift-feedback extension §5 lists as
+	// future work: the node estimates its own frequency error from the
+	// corrections it applies and disciplines its clock rate accordingly.
+	// This goes beyond the paper's Definition 1 model (which permits only
+	// additive adjustments) and is off by default; experiment E15 measures
+	// what it buys.
+	DriftComp bool
+	// DriftCompAlpha is the EWMA weight of the frequency estimator
+	// (default 0.3 when DriftComp is set).
+	DriftCompAlpha float64
+	// DriftCompMaxGain clamps the applied frequency discipline
+	// (default 10× a typical crystal bound, 1e-3).
+	DriftCompMaxGain float64
+
+	// CachedEstimation switches the node to the §3.1 background-refresh
+	// estimation variant: a cache sweeps the peers every CacheRefresh of
+	// local time and Sync reads the stored values instantly. The paper
+	// warns this voids Definition 4; experiment E17 shows the failure mode
+	// and CacheInvalidateOnAdjust repairs it.
+	CachedEstimation bool
+	// CacheRefresh is the local time between cache sweeps (default
+	// SyncInt/4).
+	CacheRefresh simtime.Duration
+	// CacheInvalidateOnAdjust drops all cached estimates after each of the
+	// node's own adjustments, so a stale pre-adjustment offset can never be
+	// applied twice.
+	CacheInvalidateOnAdjust bool
+}
+
+// Validate rejects configurations that violate §3.2.
+func (c Config) Validate() error {
+	if c.F < 0 {
+		return fmt.Errorf("core: negative f %d", c.F)
+	}
+	if c.MaxWait <= 0 {
+		return fmt.Errorf("core: MaxWait %v must be positive", c.MaxWait)
+	}
+	if c.SyncInt < 2*c.MaxWait {
+		return fmt.Errorf("core: SyncInt %v < 2·MaxWait %v", c.SyncInt, c.MaxWait)
+	}
+	if c.WayOff <= 0 {
+		return fmt.Errorf("core: WayOff %v must be positive", c.WayOff)
+	}
+	if c.FirstSync < 0 {
+		return fmt.Errorf("core: negative FirstSync %v", c.FirstSync)
+	}
+	return nil
+}
+
+// Converge is the convergence function of Figure 1, lines 6–12, as a pure
+// function: given the trimming depth f, the WayOff threshold and one
+// estimate per processor (self included as {D:0, A:0}), it returns the
+// adjustment to apply. ok is false when the trimmed extremes are not finite
+// — more than f estimations failed on both sides, so no safe adjustment
+// exists and the clock is left alone (this cannot happen under the paper's
+// assumptions, but message loss beyond the model can produce it).
+func Converge(f int, wayOff simtime.Duration, ests []protocol.Estimate) (delta simtime.Duration, ok bool) {
+	if len(ests) < 2*f+1 {
+		return 0, false // trimming f from both sides needs 2f+1 values
+	}
+	overs := make([]float64, len(ests))
+	unders := make([]float64, len(ests))
+	for i, e := range ests {
+		overs[i] = float64(e.Over())
+		unders[i] = float64(e.Under())
+	}
+	m := kthSmallest(overs, f+1)
+	mm := kthLargest(unders, f+1)
+	if math.IsInf(m, 0) || math.IsInf(mm, 0) {
+		return 0, false
+	}
+	w := float64(wayOff)
+	if m >= -w && mm <= w {
+		return simtime.Duration((math.Min(m, 0) + math.Max(mm, 0)) / 2), true
+	}
+	return simtime.Duration((m + mm) / 2), true
+}
+
+// kthSmallest returns the k-th smallest element (1-indexed) via quickselect;
+// the input slice is scratch space owned by the caller.
+func kthSmallest(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	k-- // 0-indexed rank
+	for lo < hi {
+		p := partition(xs, lo, hi)
+		switch {
+		case k == p:
+			return xs[p]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return xs[k]
+}
+
+func kthLargest(xs []float64, k int) float64 {
+	return kthSmallest(xs, len(xs)-k+1)
+}
+
+func partition(xs []float64, lo, hi int) int {
+	// Median-of-three pivot keeps adversarially sorted inputs O(n).
+	mid := lo + (hi-lo)/2
+	if xs[mid] < xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] < xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[hi] < xs[mid] {
+		xs[hi], xs[mid] = xs[mid], xs[hi]
+	}
+	pivot := xs[mid]
+	xs[mid], xs[hi] = xs[hi], xs[mid]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[hi] = xs[hi], xs[i]
+	return i
+}
+
+// Stats counts protocol activity for the experiment harness.
+type Stats struct {
+	Syncs          int // completed Sync executions
+	Skipped        int // executions skipped (faulty or no safe adjustment)
+	WayOffTriggers int // executions that took the "ignore own clock" branch
+	LastDelta      simtime.Duration
+}
+
+// Node runs Sync on one processor.
+type Node struct {
+	h     *protocol.Harness
+	cfg   Config
+	peers []int
+	stats Stats
+
+	// Drift-compensation state (only used when cfg.DriftComp is set).
+	lastSyncLocal simtime.Time // hardware reading at the previous correction
+	haveLast      bool
+	gain          float64
+
+	// cache is non-nil in the §3.1 cached-estimation variant.
+	cache *protocol.EstimateCache
+}
+
+// New builds a Sync node over the harness. peers is the list of processors
+// it estimates (its topology neighbors); the node adds its own trivial
+// self-estimate per Figure 1's "for each q ∈ {1,…,n}".
+func New(h *protocol.Harness, cfg Config, peers []int) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Node{h: h, cfg: cfg, peers: append([]int(nil), peers...)}
+	return n
+}
+
+// Harness exposes the node's harness (for corruption and measurement).
+func (n *Node) Harness() *protocol.Harness { return n.h }
+
+// Stats returns a copy of the node's activity counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Start arms the periodic Sync alarm. The alarm chain runs on the hardware
+// clock and survives corruption: a break-in cannot silently kill the loop,
+// matching the paper's requirement that the alarm "is recovered after a
+// break-in" (§3.3).
+func (n *Node) Start() {
+	if n.cfg.CachedEstimation {
+		refresh := n.cfg.CacheRefresh
+		if refresh == 0 {
+			refresh = n.cfg.SyncInt / 4
+		}
+		n.cache = protocol.NewEstimateCache(n.h, n.peers, refresh, n.cfg.MaxWait)
+		n.cache.Start()
+		// The cache's contents were writable by the adversary; they are
+		// worthless after release (§3.1: the thread must be policed).
+		n.h.OnRelease = func(simtime.Time) { n.cache.Invalidate() }
+	}
+	n.h.ScheduleLocal(n.cfg.FirstSync, n.tick)
+}
+
+// Cache exposes the estimate cache in the cached-estimation variant (nil
+// otherwise); experiments use it to measure staleness.
+func (n *Node) Cache() *protocol.EstimateCache { return n.cache }
+
+// tick is one firing of the SyncInt alarm.
+func (n *Node) tick() {
+	// Re-arm first: the next execution is SyncInt after this one started,
+	// regardless of what happens below.
+	n.h.ScheduleLocal(n.cfg.SyncInt, n.tick)
+	if n.h.Faulty() {
+		// The adversary owns this processor; its correct logic is suspended.
+		// The alarm chain itself keeps running.
+		n.stats.Skipped++
+		return
+	}
+	if n.cache != nil {
+		n.finish(n.cache.GetAll())
+		return
+	}
+	n.h.EstimateAll(n.peers, n.cfg.MaxWait, n.finish)
+}
+
+// finish applies the convergence function to a completed estimation round.
+func (n *Node) finish(ests []protocol.Estimate) {
+	// Figure 1 iterates over all of {1..n} including p itself; the
+	// self-estimate is exact and free.
+	all := make([]protocol.Estimate, 0, len(ests)+1)
+	all = append(all, ests...)
+	all = append(all, protocol.Estimate{Peer: n.h.ID(), D: 0, A: 0, OK: true})
+
+	delta, ok := Converge(n.cfg.F, n.cfg.WayOff, all)
+	if !ok {
+		n.stats.Skipped++
+		return
+	}
+	jumped := wayOff(n.cfg.F, n.cfg.WayOff, all)
+	if jumped {
+		n.stats.WayOffTriggers++
+	}
+	n.stats.Syncs++
+	n.stats.LastDelta = delta
+	n.h.Adjust(delta)
+	if n.cache != nil && n.cfg.CacheInvalidateOnAdjust && delta != 0 {
+		n.cache.Invalidate()
+	}
+	if n.cfg.DriftComp {
+		if jumped {
+			// A recovery jump says nothing about our rate; restart the
+			// estimator's baseline.
+			n.haveLast = false
+		} else {
+			n.updateDrift(delta)
+		}
+	}
+}
+
+// updateDrift feeds one correction into the frequency estimator: a clock
+// that keeps needing negative corrections is running fast relative to the
+// ensemble, so its rate gain is lowered (and vice versa). The estimate is an
+// EWMA of delta/elapsed, clamped, and applied as a clock discipline.
+func (n *Node) updateDrift(delta simtime.Duration) {
+	now := n.h.Sim().Now()
+	hwNow := n.h.Clock().Hardware().Read(now)
+	if !n.haveLast {
+		n.lastSyncLocal = hwNow
+		n.haveLast = true
+		return
+	}
+	elapsed := float64(hwNow.Sub(n.lastSyncLocal))
+	n.lastSyncLocal = hwNow
+	if elapsed <= 0 {
+		return
+	}
+	alpha := n.cfg.DriftCompAlpha
+	if alpha == 0 {
+		alpha = 0.3
+	}
+	maxGain := n.cfg.DriftCompMaxGain
+	if maxGain == 0 {
+		maxGain = 1e-3
+	}
+	// delta ≈ −(rate error)·elapsed, so the gain moves toward cancelling it.
+	n.gain = (1-alpha)*n.gain + alpha*(n.gain+float64(delta)/elapsed)
+	n.gain = math.Max(-maxGain, math.Min(maxGain, n.gain))
+	n.h.Clock().SetGain(now, n.gain)
+}
+
+// wayOff reports whether the estimates trip the "ignore own clock" branch —
+// recomputed separately so Converge itself stays a single pure function.
+func wayOff(f int, w simtime.Duration, ests []protocol.Estimate) bool {
+	overs := make([]float64, len(ests))
+	unders := make([]float64, len(ests))
+	for i, e := range ests {
+		overs[i] = float64(e.Over())
+		unders[i] = float64(e.Under())
+	}
+	m := kthSmallest(overs, f+1)
+	mm := kthLargest(unders, f+1)
+	return !(m >= -float64(w) && mm <= float64(w))
+}

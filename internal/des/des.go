@@ -1,0 +1,218 @@
+// Package des implements a deterministic discrete-event simulator.
+//
+// The simulator advances a single virtual real-time axis (the "τ" of the
+// paper's analysis). Events are callbacks scheduled at instants; events
+// scheduled for the same instant fire in scheduling order, so a run with a
+// fixed seed is exactly reproducible. The simulator is single-threaded by
+// design: processors in the simulated network are state machines driven by
+// events, which makes every bias measurable at every instant without races.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"clocksync/internal/simtime"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it.
+type Event struct {
+	at        simtime.Time
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 once fired or cancelled
+	cancelled bool
+}
+
+// At returns the instant the event is scheduled for.
+func (e *Event) At() simtime.Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// eventHeap orders events by (time, sequence number). The sequence number
+// makes the order total and deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now     simtime.Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns a simulator starting at time 0 with the given RNG seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() simtime.Time { return s.now }
+
+// Rand returns the simulator's seeded random source. All randomness in a
+// simulation must come from this source to keep runs reproducible.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet drained).
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: it is
+// always a bug in the caller, and silently reordering time would invalidate
+// the analysis the simulator exists to check.
+func (s *Sim) At(t simtime.Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d simtime.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: scheduling event %v in the past", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step fires the next event. It reports false when the queue is empty or the
+// simulation has been stopped.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 && !s.stopped {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until virtual time reaches horizon (inclusive of
+// events at exactly horizon) or the queue empties. Afterwards the clock
+// reads horizon, even if the queue drained early.
+func (s *Sim) RunUntil(horizon simtime.Time) {
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > horizon {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// Stop halts the simulation; subsequent Step calls return false.
+func (s *Sim) Stop() { s.stopped = true }
+
+// peek returns the next live event without removing it, draining cancelled
+// events it encounters.
+func (s *Sim) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// Ticker invokes fn every period of virtual time until cancelled. It is a
+// convenience for metrics sampling; protocol alarms are driven by hardware
+// clocks instead (see internal/protocol).
+type Ticker struct {
+	sim     *Sim
+	period  simtime.Duration
+	fn      func(simtime.Time)
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker with the given period; the first tick fires one
+// period from now.
+func NewTicker(sim *Sim, period simtime.Duration, fn func(simtime.Time)) *Ticker {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	t := &Ticker{sim: sim, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.sim.Now())
+		t.arm()
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

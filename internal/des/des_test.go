@@ -1,0 +1,217 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"clocksync/internal/simtime"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	sim := New(1)
+	var order []simtime.Time
+	times := []simtime.Time{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		sim.At(at, func() { order = append(order, at) })
+	}
+	sim.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(order), len(times))
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	sim := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		sim.At(7, func() { order = append(order, i) })
+	}
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	sim := New(1)
+	sim.At(3, func() {
+		if sim.Now() != 3 {
+			t.Errorf("Now inside event: got %v, want 3", sim.Now())
+		}
+	})
+	sim.Run()
+	if sim.Now() != 3 {
+		t.Fatalf("final Now: got %v, want 3", sim.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	sim := New(1)
+	var fired simtime.Time
+	sim.At(10, func() {
+		sim.After(5, func() { fired = sim.Now() })
+	})
+	sim.Run()
+	if fired != 15 {
+		t.Fatalf("After: fired at %v, want 15", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	sim := New(1)
+	sim.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past must panic")
+			}
+		}()
+		sim.At(5, func() {})
+	})
+	sim.Run()
+}
+
+func TestCancel(t *testing.T) {
+	sim := New(1)
+	fired := false
+	ev := sim.At(5, func() { fired = true })
+	ev.Cancel()
+	sim.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and cancel-after-run must be safe.
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel()
+}
+
+func TestRunUntil(t *testing.T) {
+	sim := New(1)
+	var fired []simtime.Time
+	for _, at := range []simtime.Time{1, 2, 3, 4, 5} {
+		at := at
+		sim.At(at, func() { fired = append(fired, at) })
+	}
+	sim.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3 (%v)", len(fired), fired)
+	}
+	if sim.Now() != 3 {
+		t.Fatalf("Now after RunUntil: got %v, want 3", sim.Now())
+	}
+	sim.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("second RunUntil fired %d total, want 5", len(fired))
+	}
+	if sim.Now() != 10 {
+		t.Fatalf("Now should advance to horizon even after queue drained: %v", sim.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	sim := New(1)
+	count := 0
+	sim.At(1, func() { count++; sim.Stop() })
+	sim.At(2, func() { count++ })
+	sim.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt the run: count=%d", count)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []float64 {
+		sim := New(seed)
+		var out []float64
+		var step func()
+		step = func() {
+			out = append(out, float64(sim.Now()))
+			if len(out) < 100 {
+				sim.After(simtime.Duration(sim.Rand().Float64()), step)
+			}
+		}
+		sim.After(0, step)
+		sim.Run()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces — RNG not wired in")
+	}
+}
+
+func TestHeapUnderRandomLoad(t *testing.T) {
+	// Insert events at random times, including duplicates, and verify the
+	// global firing order matches a sort oracle.
+	rng := rand.New(rand.NewSource(7))
+	sim := New(7)
+	const n = 2000
+	want := make([]simtime.Time, 0, n)
+	got := make([]simtime.Time, 0, n)
+	for i := 0; i < n; i++ {
+		at := simtime.Time(rng.Intn(500))
+		want = append(want, at)
+		at2 := at
+		sim.At(at2, func() { got = append(got, at2) })
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	sim.Run()
+	if len(got) != n {
+		t.Fatalf("fired %d, want %d", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverges from sort oracle at %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if sim.Fired() != n {
+		t.Fatalf("Fired counter: got %d, want %d", sim.Fired(), n)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	sim := New(1)
+	var ticks []simtime.Time
+	tk := NewTicker(sim, 10, func(now simtime.Time) { ticks = append(ticks, now) })
+	sim.At(35, func() { tk.Stop() })
+	sim.Run()
+	want := []simtime.Time{10, 20, 30}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-period ticker must panic")
+		}
+	}()
+	NewTicker(New(1), 0, func(simtime.Time) {})
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/clock"
+	"clocksync/internal/core"
+	"clocksync/internal/des"
+	"clocksync/internal/metrics"
+	"clocksync/internal/network"
+	"clocksync/internal/protocol"
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+	"clocksync/internal/stats"
+)
+
+// E10EstimationError reproduces Table 7: the §3.1 refinement — repeatedly
+// ping and keep the estimate with the smallest round-trip time. On networks
+// whose latency is usually small but occasionally spikes (and is asymmetric
+// between directions), the min-RTT-of-k filter shrinks both the actual
+// error and the reported error bar.
+func E10EstimationError(quick bool) Table {
+	t := Table{
+		ID:    "E10",
+		Title: "Clock-estimation error vs pings-per-estimate k (spiky asymmetric network)",
+		Columns: []string{"k", "mean |err| (ms)", "p99 |err| (ms)", "mean bar a (ms)",
+			"bar always valid"},
+		Notes: "§3.1: \"repeatedly ping ... choose the estimation with the least round trip " +
+			"time\" (the NTP trick). Expected shape: error and error bar shrink with k, and the " +
+			"true offset always lies within ±a of the estimate (Definition 4).",
+	}
+	trials := int(scaled(quick, 400, 120))
+	trueOffset := simtime.Duration(0.25)
+	var meanErrs []float64
+	for _, k := range []int{1, 2, 4, 8} {
+		sim := des.New(int64(1000 + k))
+		delay := network.SpikyDelay{
+			Base:      network.NewUniformDelay(2*simtime.Millisecond, 10*simtime.Millisecond),
+			SpikeProb: 0.3,
+			SpikeMax:  60 * simtime.Millisecond,
+		}
+		net := network.New(sim, network.NewFullMesh(2), delay)
+		h0 := protocol.NewHarness(0, sim, net, clock.NewLocal(clock.NewDrifting(0, 0, 1)))
+		_ = protocol.NewHarness(1, sim, net, clock.NewLocal(clock.NewDrifting(0, simtime.Time(trueOffset), 1)))
+
+		var errsMs, barsMs []float64
+		valid := true
+		var launch func(i int)
+		launch = func(i int) {
+			if i >= trials {
+				return
+			}
+			h0.PingBest(1, k, simtime.Second, func(e protocol.Estimate) {
+				if e.OK {
+					errAbs := math.Abs(float64(e.D - trueOffset))
+					errsMs = append(errsMs, errAbs*1e3)
+					barsMs = append(barsMs, float64(e.A)*1e3)
+					if errAbs > float64(e.A)+1e-9 {
+						valid = false
+					}
+				}
+				sim.After(simtime.Second, func() { launch(i + 1) })
+			})
+		}
+		sim.After(0, func() { launch(0) })
+		sim.Run()
+
+		sum := stats.Summarize(errsMs)
+		t.AddRow(k, sum.Mean, sum.P99, stats.Mean(barsMs), valid)
+		t.AddCheck(fmt.Sprintf("k=%d: true offset always within ±a (Definition 4)", k), valid)
+		meanErrs = append(meanErrs, sum.Mean)
+	}
+	t.AddCheck("min-RTT-of-k shrinks the mean error (k=8 < k=1)",
+		len(meanErrs) == 4 && meanErrs[3] < meanErrs[0])
+	return t
+}
+
+// E11WayOffAblation reproduces Table 8: what the WayOff escape actually buys
+// (§3.2/§3.3), and the "Known values" claim that parameters may overestimate
+// the network constants by a multiplicative factor without much harm.
+func E11WayOffAblation(quick bool) Table {
+	t := Table{
+		ID:    "E11",
+		Title: "Design ablation: WayOff setting and parameter overestimation",
+		Columns: []string{"variant", "recovery time (s)", "WayOff triggers",
+			"max deviation (s)", "max |adjust| (s)"},
+		Notes: "With WayOff the smashed processor jumps back in one Sync; without it (WayOff=∞) " +
+			"the clipped rule still halves the distance per round — logarithmic but several " +
+			"rounds slower, exactly the tradeoff §3.3 describes (fast recovery was chosen over " +
+			"minimal correction). A tiny WayOff makes every processor jump to the midpoint, " +
+			"inflating corrections. Overestimating all parameters ×4 degrades bounds gracefully.",
+	}
+	duration := simtime.Duration(scaled(quick, 1800, 900))
+	smash := 64 * simtime.Second
+	recTimes := map[string]metrics.Recovery{}
+
+	type variant struct {
+		name   string
+		mutate func(*core.Config, scenario.BuildContext)
+		scale  func(*scenario.Scenario)
+	}
+	variants := []variant{
+		{name: "derived WayOff = Δ+ε"},
+		{name: "WayOff ×10", mutate: func(c *core.Config, ctx scenario.BuildContext) {
+			c.WayOff *= 10
+		}},
+		{name: "WayOff = ∞ (no escape)", mutate: func(c *core.Config, ctx scenario.BuildContext) {
+			c.WayOff = simtime.Duration(math.MaxFloat64 / 4)
+		}},
+		{name: "WayOff tiny (50ms)", mutate: func(c *core.Config, ctx scenario.BuildContext) {
+			c.WayOff = 50 * simtime.Millisecond
+		}},
+		{name: "params ×4 overestimate", scale: func(s *scenario.Scenario) {
+			s.MaxWait = 4 * 2 * s.Delay.Bound()
+			s.SyncInt = 4 * 10 * simtime.Second
+		}},
+	}
+	for _, v := range variants {
+		s := scenario.Scenario{
+			Name:     "e11-" + v.name,
+			Seed:     1100,
+			N:        7,
+			F:        2,
+			Duration: duration,
+			Theta:    500 * simtime.Second,
+			Rho:      1e-4,
+			Delay:    network.NewUniformDelay(5*simtime.Millisecond, 50*simtime.Millisecond),
+			Adversary: adversary.Schedule{Corruptions: []adversary.Corruption{{
+				Node: 6, From: 60, To: 61,
+				Behavior: adversary.ClockSmash{Offset: smash, Quiet: true},
+			}}},
+		}
+		if v.scale != nil {
+			v.scale(&s)
+		}
+		var victim *core.Node
+		s.Builder = func(ctx scenario.BuildContext) scenario.Starter {
+			st := scenario.SyncBuilder(v.mutate)(ctx)
+			if ctx.Index == 6 {
+				victim = st.(*core.Node)
+			}
+			return st
+		}
+		res := mustRun(s)
+		rv := res.Report.Recoveries[0]
+		recTimes[v.name] = rv
+		recovery := "∞"
+		if rv.Ok {
+			recovery = formatFloat(float64(rv.Time()))
+		}
+		t.AddRow(v.name, recovery, victim.Stats().WayOffTriggers,
+			float64(res.Report.MaxDeviation), float64(res.Report.MaxAdjustment))
+	}
+	t.AddCheck("derived WayOff recovers", recTimes["derived WayOff = Δ+ε"].Ok)
+	t.AddCheck("no-escape variant still recovers (clipped rule halves distance)",
+		recTimes["WayOff = ∞ (no escape)"].Ok)
+	if a, b := recTimes["derived WayOff = Δ+ε"], recTimes["WayOff = ∞ (no escape)"]; a.Ok && b.Ok {
+		t.AddCheck("derived WayOff recovers at least as fast as no-escape",
+			a.Time() <= b.Time()+1e-9)
+	}
+	t.AddCheck("×4 parameter overestimate still recovers (\"Known values\", §3.3)",
+		recTimes["params ×4 overestimate"].Ok)
+	return t
+}
+
+// E12DriftDelaySweep reproduces Table 9: how the measured deviation tracks
+// the Δ = 16ε + 18ρT + 4C formula across the model envelope. ε scales with
+// the delivery bound δ, so the 16ε term dominates at realistic drift rates.
+func E12DriftDelaySweep(quick bool) Table {
+	t := Table{
+		ID:    "E12",
+		Title: "Deviation across the (ρ, δ) model envelope",
+		Columns: []string{"ρ", "δ (ms)", "ε (ms)", "measured Δ (s)", "bound Δ (s)",
+			"ratio"},
+		Notes: "Δ = 16ε + 18ρT + 4C with ε ≈ δ·(1+ρ): halving δ halves the bound; drift only " +
+			"matters once 18ρT rivals 16ε. Expected shape: measured deviation scales with δ and " +
+			"stays under the bound everywhere.",
+	}
+	duration := simtime.Duration(scaled(quick, 1800, 600))
+	rhos := []float64{0, 1e-6, 1e-4, 1e-3}
+	deltas := []simtime.Duration{simtime.Millisecond, 10 * simtime.Millisecond,
+		50 * simtime.Millisecond, 200 * simtime.Millisecond}
+	if quick {
+		rhos = []float64{1e-6, 1e-3}
+		deltas = []simtime.Duration{10 * simtime.Millisecond, 200 * simtime.Millisecond}
+	}
+	for _, rho := range rhos {
+		for _, delta := range deltas {
+			res := mustRun(scenario.Scenario{
+				Name:       fmt.Sprintf("e12-r%g-d%v", rho, delta),
+				Seed:       1200,
+				N:          7,
+				F:          2,
+				Duration:   duration,
+				Theta:      10 * simtime.Minute,
+				Rho:        rho,
+				Delay:      network.NewUniformDelay(delta/10, delta),
+				InitSpread: delta,
+			})
+			t.AddRow(rho, float64(delta)*1e3, float64(res.Bounds.Eps)*1e3,
+				float64(res.Report.MaxDeviation), float64(res.Bounds.MaxDeviation),
+				float64(res.Report.MaxDeviation)/float64(res.Bounds.MaxDeviation))
+			t.AddCheck(fmt.Sprintf("ρ=%g δ=%v: measured ≤ Δ", rho, delta),
+				res.Report.MaxDeviation <= res.Bounds.MaxDeviation)
+		}
+	}
+	return t
+}

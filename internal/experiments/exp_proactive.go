@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/proactive"
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+)
+
+// noopProtocol never synchronizes — the free-running control.
+type noopProtocol struct{}
+
+func (noopProtocol) Start() {}
+
+// E18ProactiveSecurity closes the loop on the paper's motivation (§1):
+// "the security and reliability of such periodical protocols depend on
+// securely synchronized clocks." Seven holders share a secret with
+// threshold f+1 = 3 and refresh their shares whenever their LOCAL clock
+// crosses an epoch boundary. A mobile adversary, comfortably f-limited,
+// plays the following moves:
+//
+//  1. smash one holder's clock back by ≈ one epoch, then leave;
+//  2. steal shares from two other holders during wall epoch 2;
+//  3. return to the first holder during wall epoch 3.
+//
+// With Sync underneath, the smashed holder resynchronizes within Θ, so by
+// step 3 it has refreshed and surrenders an epoch-3 share: the attacker
+// holds {2, 2, 3} — below threshold in every epoch, and the cross-epoch
+// interpolation provably yields garbage. Without synchronization the holder
+// still lives in epoch 2 at step 3, the attacker holds three epoch-2 shares,
+// and the real Shamir reconstruction below recovers the secret.
+func E18ProactiveSecurity(quick bool) Table {
+	t := Table{
+		ID:    "E18",
+		Title: "Proactive secret sharing end-to-end: the motivating application (§1)",
+		Columns: []string{"clocks", "stolen share epochs", "best same-epoch count",
+			"threshold", "secret reconstructed?"},
+		Notes: "Same f-limited adversary, same share-refresh protocol, real Shamir " +
+			"reconstruction over GF(2^127−1). Expected shape: with Sync the attacker never " +
+			"collects a threshold of same-epoch shares (and mixing epochs interpolates to " +
+			"garbage); with free-running clocks the lagging holder hands over a stale share " +
+			"and the secret falls.",
+	}
+	const (
+		n        = 7
+		f        = 2
+		k        = f + 1
+		epochLen = 120.0
+	)
+	secret := big.NewInt(271828182845)
+
+	// The adversary's script (see the function comment). Θ = 55 s keeps it
+	// f-limited with every corruption in its own window.
+	sched := adversary.Schedule{Corruptions: []adversary.Corruption{
+		{Node: 4, From: 170, To: 180, Behavior: adversary.ClockSmash{Offset: -125, Quiet: true}},
+		{Node: 5, From: 250, To: 260, Behavior: adversary.Crash{}},
+		{Node: 6, From: 320, To: 330, Behavior: adversary.Crash{}},
+		{Node: 4, From: 390, To: 400, Behavior: adversary.Crash{}},
+	}}
+
+	duration := simtime.Duration(scaled(quick, 600, 600))
+	for _, variant := range []string{"Sync (paper)", "free-running"} {
+		s := scenario.Scenario{
+			Name:         "e18-" + variant,
+			Seed:         1800,
+			N:            n,
+			F:            f,
+			Duration:     duration,
+			Theta:        55 * simtime.Second,
+			Rho:          1e-4,
+			Adversary:    sched,
+			SamplePeriod: simtime.Second,
+		}
+		if variant == "free-running" {
+			s.Builder = func(scenario.BuildContext) scenario.Starter { return noopProtocol{} }
+		}
+		res := mustRun(s)
+
+		// The attacker reads each victim's current share at break-in time;
+		// the share's epoch is determined by the victim's local clock.
+		sharing, err := proactive.NewSharing(99, secret, n, k)
+		if err != nil {
+			panic(err)
+		}
+		var stolen []proactive.Share
+		var epochs []int64
+		for _, c := range sched.Corruptions {
+			mid := c.From.Add(c.To.Sub(c.From) / 2)
+			bias := biasAt(res, c.Node, mid)
+			local := float64(mid) + bias
+			epoch := int64(local / epochLen)
+			if epoch < 0 {
+				epoch = 0
+			}
+			stolen = append(stolen, sharing.ShareAt(c.Node, epoch))
+			epochs = append(epochs, epoch)
+		}
+		// Group by epoch, drop duplicate holders (re-corrupting the same
+		// holder in the same epoch yields the same share).
+		byEpoch := map[int64]map[int]proactive.Share{}
+		for _, sh := range stolen {
+			if byEpoch[sh.Epoch] == nil {
+				byEpoch[sh.Epoch] = map[int]proactive.Share{}
+			}
+			byEpoch[sh.Epoch][sh.X] = sh
+		}
+		best := 0
+		reconstructed := false
+		for _, group := range byEpoch {
+			if len(group) > best {
+				best = len(group)
+			}
+			if len(group) >= k {
+				var shares []proactive.Share
+				for _, sh := range group {
+					shares = append(shares, sh)
+				}
+				got, err := proactive.Reconstruct(shares, k)
+				if err == nil && got.Cmp(secret) == 0 {
+					reconstructed = true
+				}
+			}
+		}
+		// Cross-epoch mixing must never work, under either variant.
+		if len(stolen) >= k {
+			if mixed := proactive.ReconstructUnchecked(stolen[:k]); mixed.Cmp(secret) == 0 && best < k {
+				panic("cross-epoch shares reconstructed the secret — refresh broken")
+			}
+		}
+		t.AddRow(variant, fmt.Sprintf("%v", epochs), best, k, reconstructed)
+		if variant == "free-running" {
+			t.AddCheck("free-running clocks: the attacker reconstructs the secret", reconstructed)
+		} else {
+			t.AddCheck("Sync: the attacker never reaches a same-epoch threshold", !reconstructed && best < k)
+		}
+	}
+	return t
+}
+
+// biasAt returns node's bias at the sample nearest to at.
+func biasAt(res *scenario.Result, node int, at simtime.Time) float64 {
+	samples := res.Recorder.Samples()
+	for _, s := range samples {
+		if s.At >= at {
+			return float64(s.Biases[node])
+		}
+	}
+	return float64(samples[len(samples)-1].Biases[node])
+}

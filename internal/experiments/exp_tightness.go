@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/network"
+	"clocksync/internal/protocol"
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+)
+
+// E19TightnessProbe asks how much of the Theorem 5 deviation budget a
+// *coordinated* adversary can actually consume in this harness. The benign
+// experiments sit at ~5% of Δ because random delays and uncoordinated
+// smashes waste the budget; here every lever is pulled at once:
+//
+//   - hardware drift split to the extremes (half the good processors at
+//     1+ρ, half at 1/(1+ρ) — the full 18ρT term in play);
+//   - maximally asymmetric link delays (requests slow, replies fast), which
+//     biases every estimate by (δ_fwd − δ_rev)/2 with a sign that depends on
+//     the processor pair — the systematic part of the 16ε term;
+//   - f static two-faced liars pinning the halves apart at the trimming
+//     limit (the E6 attack, here at n = 3f+1 where it must stay bounded).
+//
+// The measured deviation rises roughly an order of magnitude over the
+// benign runs yet stays under Δ — evidence both that the bound is honored
+// under coordinated attack and that its remaining slack is real worst-case
+// conservatism (adaptive per-step adversarial placement), not measurement
+// luck.
+func E19TightnessProbe(quick bool) Table {
+	t := Table{
+		ID:    "E19",
+		Title: "Tightness probe: how much of Δ can a coordinated adversary consume?",
+		Columns: []string{"configuration", "measured dev (s)", "bound Δ (s)", "fraction of Δ",
+			"accuracy drawdown (s)"},
+		Notes: "Each row adds one adversarial lever. Expected shape: the fraction of the budget " +
+			"consumed climbs steeply over the benign baseline but never reaches 1 — the bound " +
+			"holds with slack that corresponds to the analysis's worst-case-per-step " +
+			"assumptions, which no fixed strategy in this harness can realize simultaneously " +
+			"at every Sync.",
+	}
+	const (
+		n   = 7
+		f   = 2
+		rho = 1e-4
+	)
+	duration := simtime.Duration(scaled(quick, 2*3600, 1800))
+	delta := 50 * simtime.Millisecond
+
+	extremeSlopes := func() []float64 {
+		slopes := make([]float64, n)
+		for i := range slopes {
+			if i%2 == 0 {
+				slopes[i] = 1 + rho
+			} else {
+				slopes[i] = 1 / (1 + rho)
+			}
+		}
+		return slopes
+	}
+	asym := network.AsymmetricDelay{
+		FwdMin: delta - delta/50, FwdMax: delta,
+		RevMin: delta / 50, RevMax: delta / 25,
+	}
+	liars := adversary.Static([]int{n - 2, n - 1}, 1, simtime.Time(duration),
+		func(int) protocol.Behavior {
+			return adversary.SplitBrain{Boundary: 2, Offset: 30 * simtime.Second}
+		})
+
+	type config struct {
+		name   string
+		mutate func(*scenario.Scenario)
+	}
+	configs := []config{
+		{"benign (random delays, no faults)", func(s *scenario.Scenario) {}},
+		{"+ extreme drift split", func(s *scenario.Scenario) {
+			s.Slopes = extremeSlopes()
+		}},
+		{"+ asymmetric delays", func(s *scenario.Scenario) {
+			s.Slopes = extremeSlopes()
+			s.Delay = asym
+		}},
+		{"+ split-brain liars (all levers)", func(s *scenario.Scenario) {
+			s.Slopes = extremeSlopes()
+			s.Delay = asym
+			s.Adversary = liars
+		}},
+	}
+	var fractions []float64
+	for _, cfg := range configs {
+		s := scenario.Scenario{
+			Name:       "e19-" + cfg.name,
+			Seed:       1900,
+			N:          n,
+			F:          f,
+			Duration:   duration,
+			Theta:      5 * simtime.Minute,
+			Rho:        rho,
+			Delay:      network.NewUniformDelay(delta/10, delta),
+			InitSpread: 50 * simtime.Millisecond,
+		}
+		cfg.mutate(&s)
+		res := mustRun(s)
+		frac := float64(res.Report.MaxDeviation) / float64(res.Bounds.MaxDeviation)
+		t.AddRow(cfg.name, float64(res.Report.MaxDeviation),
+			float64(res.Bounds.MaxDeviation), frac,
+			float64(res.Report.AccuracyDrawdown))
+		fractions = append(fractions, frac)
+		t.AddCheck(fmt.Sprintf("%s: deviation stays ≤ Δ", cfg.name), frac <= 1)
+	}
+	t.AddCheck("coordinated levers consume a multiple of the benign budget share (≥2×)",
+		fractions[3] >= 2*fractions[0])
+	t.AddCheck("levers compose monotonically (full stack ≥ drift-only)",
+		fractions[3] >= fractions[1])
+	return t
+}

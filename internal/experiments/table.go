@@ -1,0 +1,211 @@
+// Package experiments implements the reproduction suite of EXPERIMENTS.md:
+// one function per table/figure (E1–E12), each returning a formatted Table.
+// cmd/benchtables regenerates them all; bench_test.go wraps each in a
+// testing.B benchmark.
+//
+// The paper is an extended abstract whose "evaluation" is analytic
+// (Theorem 5, Lemma 7, Claim 8) plus qualitative claims in §1.1/§3.3/§5;
+// each experiment here measures one of those claims empirically. See
+// DESIGN.md §4 for the experiment-to-claim mapping.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced table or figure.
+type Table struct {
+	ID      string // e.g. "E1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Figure  string // optional ASCII chart
+	Notes   string // expectation and interpretation
+	// Checks are the experiment's machine-verified shape assertions: the
+	// qualitative outcome the paper predicts (who wins, what is bounded,
+	// what diverges), checked against the measured numbers.
+	Checks []Check
+}
+
+// Check is one verified expectation.
+type Check struct {
+	Name string
+	Ok   bool
+}
+
+// AddCheck records a shape assertion.
+func (t *Table) AddCheck(name string, ok bool) {
+	t.Checks = append(t.Checks, Check{Name: name, Ok: ok})
+}
+
+// ChecksPass reports whether every shape assertion held.
+func (t *Table) ChecksPass() bool {
+	for _, c := range t.Checks {
+		if !c.Ok {
+			return false
+		}
+	}
+	return true
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v != v: // NaN
+		return "-"
+	case absf(v) >= 1e5 || absf(v) < 1e-4:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Figure != "" {
+		b.WriteByte('\n')
+		b.WriteString(t.Figure)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\nNote: %s\n", t.Notes)
+	}
+	for _, c := range t.Checks {
+		status := "PASS"
+		if !c.Ok {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s\n", status, c.Name)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown (figures become
+// fenced code blocks, checks a task list).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %s |", strings.ReplaceAll(c, "|", "\\|"))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Figure != "" {
+		fmt.Fprintf(&b, "\n```\n%s```\n", t.Figure)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n> %s\n", t.Notes)
+	}
+	if len(t.Checks) > 0 {
+		b.WriteByte('\n')
+		for _, c := range t.Checks {
+			mark := "x"
+			if !c.Ok {
+				mark = " "
+			}
+			fmt.Fprintf(&b, "- [%s] %s\n", mark, c.Name)
+		}
+	}
+	return b.String()
+}
+
+// All runs the full suite. quick shortens simulated durations for use in
+// benchmarks and smoke tests; the shapes of the results are preserved.
+func All(quick bool) []Table {
+	return []Table{
+		E01Deviation(quick),
+		E02AccuracyTradeoff(quick),
+		E03RecoveryHalving(quick),
+		E04RecoveryVsBaselines(quick),
+		E05MobileAdversary(quick),
+		E06ResilienceThreshold(quick),
+		E07TwoClique(quick),
+		E08MessageOverhead(quick),
+		E09Discontinuity(quick),
+		E10EstimationError(quick),
+		E11WayOffAblation(quick),
+		E12DriftDelaySweep(quick),
+		E13ConnectivitySweep(quick),
+		E14SelfStabilization(quick),
+		E15DriftCompensation(quick),
+		E16MessageLoss(quick),
+		E17CachedEstimation(quick),
+		E18ProactiveSecurity(quick),
+		E19TightnessProbe(quick),
+		E20NetworkOutage(quick),
+	}
+}
+
+// scaled shrinks a full-length duration in quick mode.
+func scaled(quick bool, full, quickVal float64) float64 {
+	if quick {
+		return quickVal
+	}
+	return full
+}

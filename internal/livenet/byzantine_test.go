@@ -1,0 +1,169 @@
+package livenet
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// liarResponder is a raw UDP endpoint that speaks the wire protocol but
+// reports wildly wrong clocks — a live Byzantine peer.
+type liarResponder struct {
+	conn *net.UDPConn
+	key  []byte
+	skew time.Duration
+}
+
+func startLiar(t *testing.T, key []byte, skew time.Duration) *liarResponder {
+	t.Helper()
+	addr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &liarResponder{conn: conn, key: key, skew: skew}
+	go l.serve()
+	t.Cleanup(func() { conn.Close() })
+	return l
+}
+
+func (l *liarResponder) serve() {
+	buf := make([]byte, 2048)
+	for {
+		nr, raddr, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		var msg wireMsg
+		if json.Unmarshal(buf[:nr], &msg) != nil || msg.Type != "q" {
+			continue
+		}
+		resp := wireMsg{
+			V:     wireVersion,
+			Type:  "r",
+			From:  msg.From, // deliberately confusing, but nonce routing decides
+			Nonce: msg.Nonce,
+			Clock: time.Now().Add(l.skew).UnixNano(),
+		}
+		resp.From = 3 // its own claimed id
+		if len(l.key) > 0 {
+			resp.MAC = resp.mac(l.key)
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			continue
+		}
+		l.conn.WriteToUDP(data, raddr)
+	}
+}
+
+func TestLiveClusterToleratesByzantinePeer(t *testing.T) {
+	// Three honest nodes plus one raw liar claiming to be hours away. With
+	// n=4, f=1, the (f+1)-trimming discards the lie and the honest trio
+	// converges tightly.
+	key := []byte("byz-test-key")
+	liar := startLiar(t, key, 3*time.Hour)
+
+	offsets := []time.Duration{-60 * time.Millisecond, 0, 80 * time.Millisecond}
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		node, err := New(Config{
+			ID:        i,
+			F:         1,
+			Listen:    "127.0.0.1:0",
+			SyncInt:   200 * time.Millisecond,
+			MaxWait:   100 * time.Millisecond,
+			WayOff:    2 * time.Second,
+			Key:       key,
+			SimOffset: offsets[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	for i, node := range nodes {
+		peers := map[int]string{3: liar.conn.LocalAddr().String()}
+		for j, other := range nodes {
+			if j != i {
+				peers[j] = other.Addr()
+			}
+		}
+		if err := node.SetPeers(peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() { cancel(); wg.Wait() }()
+	for _, node := range nodes {
+		node := node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node.Run(ctx)
+		}()
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatalf("honest trio did not converge against the liar: %v %v %v",
+				nodes[0].Offset(), nodes[1].Offset(), nodes[2].Offset())
+		case <-time.After(100 * time.Millisecond):
+		}
+		if nodes[0].Syncs() < 4 {
+			continue
+		}
+		if spreadOf(nodes) < 20*time.Millisecond {
+			// The liar must not have dragged the trio toward +3h either.
+			for i, n := range nodes {
+				if n.Offset() > time.Second {
+					t.Fatalf("node %d dragged to %v by the liar", i, n.Offset())
+				}
+			}
+			return
+		}
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	nodes, _ := startCluster(t, 4, 1, []time.Duration{0, 10 * time.Millisecond, 0, 0}, []byte("k"))
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("no syncs completed")
+		case <-time.After(100 * time.Millisecond):
+		}
+		if nodes[0].Syncs() >= 2 {
+			break
+		}
+	}
+	st := nodes[0].Status()
+	if st.ID != 0 || st.Syncs < 2 {
+		t.Fatalf("status header: %+v", st)
+	}
+	if len(st.Peers) != 3 {
+		t.Fatalf("peers: %+v", st.Peers)
+	}
+	sawReply := false
+	for _, p := range st.Peers {
+		if p.Replies > 0 {
+			sawReply = true
+			if time.Since(p.LastSeen) > 5*time.Second {
+				t.Fatalf("stale LastSeen: %+v", p)
+			}
+		}
+	}
+	if !sawReply {
+		t.Fatalf("no peer replies recorded: %+v", st.Peers)
+	}
+}

@@ -1,0 +1,66 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterConvergesAndStops(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N:       4,
+		F:       1,
+		SyncInt: 200 * time.Millisecond,
+		MaxWait: 100 * time.Millisecond,
+		WayOff:  time.Second,
+		Key:     []byte("cluster-key"),
+		Offsets: []time.Duration{-70 * time.Millisecond, 0, 40 * time.Millisecond, 90 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if err := c.WaitConverged(20*time.Millisecond, 3, 10*time.Second); err != nil {
+		c.Stop()
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 4 || c.Node(0) == nil {
+		t.Fatal("accessors broken")
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop is idempotent.
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{N: 0}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{N: 3, F: 1,
+		SyncInt: time.Second, MaxWait: 100 * time.Millisecond, WayOff: time.Second}); err == nil {
+		t.Fatal("n < 3f+1 accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{N: 2, F: 0, SyncInt: 0}); err == nil {
+		t.Fatal("bad intervals accepted")
+	}
+}
+
+func TestClusterDoubleStartPanics(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 1, F: 0, SyncInt: time.Second, MaxWait: 100 * time.Millisecond, WayOff: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double start must panic")
+		}
+	}()
+	c.Start()
+}

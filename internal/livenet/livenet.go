@@ -1,0 +1,528 @@
+// Package livenet runs the Sync protocol over a real network in real time.
+// It is the deployable counterpart of the simulator: each Node owns a UDP
+// socket, answers authenticated time requests, and disciplines a local
+// clock with the same convergence function (core.Converge) the simulation
+// uses.
+//
+// Authenticated links (§2.2) are realized with HMAC-SHA256 over a shared
+// key; messages that fail authentication are dropped before they reach the
+// protocol. For demonstrations, a Node can simulate a hardware offset and
+// drift on top of the host clock, so a loopback cluster exhibits the same
+// convergence the paper analyzes.
+package livenet
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"clocksync/internal/core"
+	"clocksync/internal/protocol"
+	"clocksync/internal/simtime"
+)
+
+// wireMsg is the on-the-wire JSON message.
+type wireMsg struct {
+	V     int    `json:"v"`           // protocol version
+	Type  string `json:"t"`           // "q" request | "r" response
+	From  int    `json:"f"`           // sender id
+	Nonce uint64 `json:"n"`           // request/response pairing
+	Clock int64  `json:"c,omitempty"` // responder clock, unix nanoseconds
+	MAC   []byte `json:"m,omitempty"` // HMAC-SHA256 tag
+}
+
+const wireVersion = 1
+
+// mac computes the authentication tag over the message's canonical fields.
+func (m *wireMsg) mac(key []byte) []byte {
+	h := hmac.New(sha256.New, key)
+	var buf [8 + 8 + 8 + 2]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(m.From))
+	binary.BigEndian.PutUint64(buf[8:], m.Nonce)
+	binary.BigEndian.PutUint64(buf[16:], uint64(m.Clock))
+	buf[24] = byte(m.V)
+	if m.Type == "q" {
+		buf[25] = 0
+	} else {
+		buf[25] = 1
+	}
+	h.Write(buf[:])
+	return h.Sum(nil)
+}
+
+// Config parameterizes a live node.
+type Config struct {
+	ID     int
+	F      int
+	Listen string         // UDP listen address, e.g. "127.0.0.1:9000"
+	Peers  map[int]string // peer id → address (excluding self)
+
+	SyncInt time.Duration // wall time between Sync executions
+	MaxWait time.Duration // estimation timeout
+	WayOff  time.Duration // own-clock rejection threshold
+
+	// Key enables HMAC authentication when non-empty. All nodes must share
+	// it; without it the "authenticated links" assumption of §2.2 is void.
+	Key []byte
+
+	// SimOffset and SimDriftPPM synthesize a faulty hardware clock on top of
+	// the host clock, for demonstrations: the node's clock starts SimOffset
+	// away from host time and drifts by SimDriftPPM microseconds per second.
+	SimOffset   time.Duration
+	SimDriftPPM float64
+
+	// Logf receives diagnostic output; nil silences the node.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) validate() error {
+	if c.SyncInt <= 0 || c.MaxWait <= 0 || c.WayOff <= 0 {
+		return errors.New("livenet: SyncInt, MaxWait and WayOff must be positive")
+	}
+	if c.SyncInt < 2*c.MaxWait {
+		return fmt.Errorf("livenet: SyncInt %v < 2·MaxWait %v", c.SyncInt, c.MaxWait)
+	}
+	if c.F < 0 {
+		return fmt.Errorf("livenet: negative f %d", c.F)
+	}
+	return nil
+}
+
+// Node is a live Sync participant.
+type Node struct {
+	cfg   Config
+	conn  *net.UDPConn
+	peers map[int]*net.UDPAddr
+	start time.Time
+
+	mu       sync.Mutex
+	adj      time.Duration
+	nonce    uint64
+	pending  map[uint64]pendingPing
+	syncs    int
+	last     time.Duration
+	peerSeen map[int]peerStats
+
+	wg sync.WaitGroup
+}
+
+type peerStats struct {
+	lastOffset time.Duration
+	lastSeen   time.Time
+	replies    int
+	failures   int
+}
+
+// PeerStatus is one peer's view in a Status snapshot.
+type PeerStatus struct {
+	ID         int
+	LastOffset time.Duration // last measured C_peer − C_self
+	LastSeen   time.Time     // wall time of the last reply
+	Replies    int
+	Failures   int
+}
+
+// Status is a point-in-time snapshot of the node's state.
+type Status struct {
+	ID     int
+	Syncs  int
+	Offset time.Duration // current offset from the host clock
+	Last   time.Duration // most recent adjustment
+	Peers  []PeerStatus  // sorted by id
+}
+
+type pendingPing struct {
+	peer   int
+	sentAt time.Time // local clock reading (Now) at send
+	ch     chan<- protocol.Estimate
+}
+
+// New opens the node's socket and resolves its peers.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: resolving listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: listening: %w", err)
+	}
+	peers := make(map[int]*net.UDPAddr, len(cfg.Peers))
+	for id, a := range cfg.Peers {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("livenet: resolving peer %d (%s): %w", id, a, err)
+		}
+		peers[id] = ua
+	}
+	return &Node{
+		cfg:      cfg,
+		conn:     conn,
+		peers:    peers,
+		start:    time.Now(),
+		pending:  make(map[uint64]pendingPing),
+		peerSeen: make(map[int]peerStats),
+	}, nil
+}
+
+// StatusJSON renders the Status snapshot for monitoring endpoints.
+func (n *Node) StatusJSON() ([]byte, error) {
+	st := n.Status()
+	type peerJSON struct {
+		ID        int     `json:"id"`
+		OffsetSec float64 `json:"last_offset_sec"`
+		AgeSec    float64 `json:"last_seen_age_sec"`
+		Replies   int     `json:"replies"`
+		Failures  int     `json:"failures"`
+	}
+	out := struct {
+		ID        int        `json:"id"`
+		Syncs     int        `json:"syncs"`
+		OffsetSec float64    `json:"offset_sec"`
+		LastSec   float64    `json:"last_adjust_sec"`
+		Peers     []peerJSON `json:"peers"`
+	}{
+		ID:        st.ID,
+		Syncs:     st.Syncs,
+		OffsetSec: st.Offset.Seconds(),
+		LastSec:   st.Last.Seconds(),
+	}
+	for _, p := range st.Peers {
+		age := -1.0
+		if !p.LastSeen.IsZero() {
+			age = time.Since(p.LastSeen).Seconds()
+		}
+		out.Peers = append(out.Peers, peerJSON{
+			ID: p.ID, OffsetSec: p.LastOffset.Seconds(), AgeSec: age,
+			Replies: p.Replies, Failures: p.Failures,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// ServeStatus starts an HTTP listener exposing GET /status with the node's
+// StatusJSON, for dashboards and health checks. It returns the bound
+// address; the server stops when ctx is cancelled.
+func (n *Node) ServeStatus(ctx context.Context, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("livenet: status listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		data, err := n.StatusJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	srv := &http.Server{Handler: mux}
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		srv.Serve(ln)
+	}()
+	go func() {
+		defer n.wg.Done()
+		<-ctx.Done()
+		srv.Close()
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Status returns a snapshot of the node's synchronization state.
+func (n *Node) Status() Status {
+	offset := n.Offset() // before taking the lock; Offset locks internally
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := Status{ID: n.cfg.ID, Syncs: n.syncs, Last: n.last, Offset: offset}
+	ids := make([]int, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ps := n.peerSeen[id]
+		st.Peers = append(st.Peers, PeerStatus{
+			ID:         id,
+			LastOffset: ps.lastOffset,
+			LastSeen:   ps.lastSeen,
+			Replies:    ps.replies,
+			Failures:   ps.failures,
+		})
+	}
+	return st
+}
+
+// Addr returns the node's bound UDP address.
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// SetPeers installs or replaces the peer table. It must be called before
+// Run when the configuration could not know peer addresses up front (e.g.
+// OS-assigned ports). The resulting cluster must satisfy n ≥ 3f+1.
+func (n *Node) SetPeers(peers map[int]string) error {
+	resolved := make(map[int]*net.UDPAddr, len(peers))
+	for id, a := range peers {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return fmt.Errorf("livenet: resolving peer %d (%s): %w", id, a, err)
+		}
+		resolved[id] = ua
+	}
+	if len(resolved)+1 < 3*n.cfg.F+1 {
+		return fmt.Errorf("livenet: n=%d does not satisfy n ≥ 3f+1 for f=%d", len(resolved)+1, n.cfg.F)
+	}
+	n.mu.Lock()
+	n.peers = resolved
+	n.mu.Unlock()
+	return nil
+}
+
+// localClock returns the node's logical clock as an offset from the host
+// clock: simulated hardware error plus the protocol's adjustment. (Returning
+// the offset rather than an absolute time keeps the arithmetic exact.)
+func (n *Node) localClock() time.Duration {
+	elapsed := time.Since(n.start)
+	drift := time.Duration(float64(elapsed) * n.cfg.SimDriftPPM * 1e-6)
+	n.mu.Lock()
+	adj := n.adj
+	n.mu.Unlock()
+	return n.cfg.SimOffset + drift + adj
+}
+
+// Now returns the node's disciplined clock reading.
+func (n *Node) Now() time.Time { return time.Now().Add(n.localClock()) }
+
+// Offset returns the node's current clock offset from the host clock — the
+// live analogue of the simulator's bias, measurable because the demo knows
+// the host clock is the reference.
+func (n *Node) Offset() time.Duration { return n.localClock() }
+
+// Syncs returns the number of completed Sync executions.
+func (n *Node) Syncs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.syncs
+}
+
+// LastDelta returns the most recent adjustment.
+func (n *Node) LastDelta() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.last
+}
+
+// Run serves requests and executes the Sync loop until ctx is cancelled.
+func (n *Node) Run(ctx context.Context) error {
+	n.mu.Lock()
+	nPeers := len(n.peers)
+	n.mu.Unlock()
+	if nPeers+1 < 3*n.cfg.F+1 {
+		return fmt.Errorf("livenet: n=%d does not satisfy n ≥ 3f+1 for f=%d", nPeers+1, n.cfg.F)
+	}
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(ctx)
+	}()
+	go func() {
+		defer n.wg.Done()
+		n.syncLoop(ctx)
+	}()
+	<-ctx.Done()
+	n.conn.Close() // unblocks the read loop
+	n.wg.Wait()
+	return ctx.Err()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// readLoop answers time requests and routes responses to pending pings.
+func (n *Node) readLoop(ctx context.Context) {
+	buf := make([]byte, 2048)
+	for {
+		nr, raddr, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			n.logf("read error: %v", err)
+			continue
+		}
+		var msg wireMsg
+		if err := json.Unmarshal(buf[:nr], &msg); err != nil || msg.V != wireVersion {
+			continue // not ours
+		}
+		if len(n.cfg.Key) > 0 && !hmac.Equal(msg.MAC, msg.mac(n.cfg.Key)) {
+			n.logf("dropping unauthenticated message from %v", raddr)
+			continue
+		}
+		switch msg.Type {
+		case "q":
+			n.answer(msg, raddr)
+		case "r":
+			n.handleResponse(msg)
+		}
+	}
+}
+
+// answer replies to a time request with the current clock — always the
+// current clock, per the paper's roundless design.
+func (n *Node) answer(req wireMsg, raddr *net.UDPAddr) {
+	resp := wireMsg{
+		V:     wireVersion,
+		Type:  "r",
+		From:  n.cfg.ID,
+		Nonce: req.Nonce,
+		Clock: n.Now().UnixNano(),
+	}
+	n.send(resp, raddr)
+}
+
+func (n *Node) send(msg wireMsg, to *net.UDPAddr) {
+	if len(n.cfg.Key) > 0 {
+		msg.MAC = msg.mac(n.cfg.Key)
+	}
+	data, err := json.Marshal(msg)
+	if err != nil {
+		n.logf("marshal error: %v", err)
+		return
+	}
+	if _, err := n.conn.WriteToUDP(data, to); err != nil {
+		n.logf("send to %v failed: %v", to, err)
+	}
+}
+
+func (n *Node) handleResponse(msg wireMsg) {
+	r := n.Now() // local clock reading R at receipt
+	n.mu.Lock()
+	p, ok := n.pending[msg.Nonce]
+	if ok {
+		delete(n.pending, msg.Nonce)
+	}
+	n.mu.Unlock()
+	if !ok || p.peer != msg.From {
+		return
+	}
+	// §3.1: sent at local S, received at local R, peer reported C:
+	// d = C − (R+S)/2 = (C − R) + (R−S)/2, a = (R−S)/2.
+	c := time.Unix(0, msg.Clock)
+	rtt := r.Sub(p.sentAt)
+	est := protocol.Estimate{
+		Peer: p.peer,
+		D:    simtime.Duration(c.Sub(r).Seconds() + rtt.Seconds()/2),
+		A:    simtime.Duration(rtt.Seconds() / 2),
+		OK:   true,
+	}
+	n.mu.Lock()
+	ps := n.peerSeen[p.peer]
+	ps.lastOffset = time.Duration(float64(est.D) * float64(time.Second))
+	ps.lastSeen = time.Now()
+	ps.replies++
+	n.peerSeen[p.peer] = ps
+	n.mu.Unlock()
+	select {
+	case p.ch <- est:
+	default:
+	}
+}
+
+// syncLoop runs one Sync every SyncInt.
+func (n *Node) syncLoop(ctx context.Context) {
+	ticker := time.NewTicker(n.cfg.SyncInt)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			n.runSync(ctx)
+		}
+	}
+}
+
+// runSync estimates all peers in parallel and applies the convergence
+// function.
+func (n *Node) runSync(ctx context.Context) {
+	type ping struct {
+		nonce uint64
+		peer  int
+		addr  *net.UDPAddr
+	}
+	ch := make(chan protocol.Estimate, len(n.peers))
+	var pings []ping
+	sentAt := n.Now() // local clock reading S; all pings share the send instant
+	n.mu.Lock()
+	for id, addr := range n.peers {
+		n.nonce++
+		n.pending[n.nonce] = pendingPing{peer: id, sentAt: sentAt, ch: ch}
+		pings = append(pings, ping{nonce: n.nonce, peer: id, addr: addr})
+	}
+	n.mu.Unlock()
+	for _, p := range pings {
+		n.send(wireMsg{V: wireVersion, Type: "q", From: n.cfg.ID, Nonce: p.nonce}, p.addr)
+	}
+
+	ests := make([]protocol.Estimate, 0, len(pings)+1)
+	deadline := time.NewTimer(n.cfg.MaxWait)
+	defer deadline.Stop()
+collect:
+	for range pings {
+		select {
+		case e := <-ch:
+			ests = append(ests, e)
+		case <-deadline.C:
+			break collect
+		case <-ctx.Done():
+			return
+		}
+	}
+	// Drop leftover pending entries for this round and fill failures.
+	n.mu.Lock()
+	for nonce, p := range n.pending {
+		for _, pg := range pings {
+			if pg.nonce == nonce {
+				delete(n.pending, nonce)
+				ests = append(ests, protocol.FailedEstimate(p.peer))
+				ps := n.peerSeen[p.peer]
+				ps.failures++
+				n.peerSeen[p.peer] = ps
+				break
+			}
+		}
+	}
+	n.mu.Unlock()
+	ests = append(ests, protocol.Estimate{Peer: n.cfg.ID, D: 0, A: 0, OK: true})
+
+	delta, ok := core.Converge(n.cfg.F, simtime.Duration(n.cfg.WayOff.Seconds()), ests)
+	if !ok {
+		n.logf("sync: too few answers (%d) for f=%d", len(ests)-1, n.cfg.F)
+		return
+	}
+	dd := time.Duration(float64(delta) * float64(time.Second))
+	n.mu.Lock()
+	n.adj += dd
+	n.syncs++
+	n.last = dd
+	n.mu.Unlock()
+	n.logf("sync #%d: adjusted by %v (offset now %v)", n.Syncs(), dd, n.Offset())
+}

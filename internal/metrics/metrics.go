@@ -1,0 +1,374 @@
+// Package metrics measures a simulation run against the paper's
+// definitions:
+//
+//   - Synchronization (Definition 3(i)): at each sample instant τ, the
+//     maximal clock difference over the processors that were non-faulty
+//     throughout [τ−Θ, τ] — the "good set".
+//   - Accuracy (Definition 3(ii)): the worst logical clock rate over good
+//     stretches, and the largest single adjustment (discontinuity ψ).
+//   - Recovery: for every release in the corruption schedule, how long the
+//     processor took to re-enter the good processors' bias range.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/clock"
+	"clocksync/internal/des"
+	"clocksync/internal/simtime"
+	"clocksync/internal/stats"
+)
+
+// Sample is one measurement instant.
+type Sample struct {
+	At        simtime.Time
+	Biases    []simtime.Duration // B_p(τ) per processor
+	Good      []bool             // non-faulty during [τ−Θ, τ]
+	Deviation simtime.Duration   // max pairwise |C_p−C_q| over the good set
+}
+
+// Recorder samples processor biases on a fixed period and accumulates the
+// paper's metrics.
+type Recorder struct {
+	sim    *des.Sim
+	clocks []*clock.Local
+	sched  adversary.Schedule
+	theta  simtime.Duration
+
+	samples []Sample
+	// adjustLog records every adjustment with its instant so BuildReport
+	// can classify it (good vs recovering, warm-up vs steady state).
+	adjustLog      []adjustRecord
+	adjusts        []int
+	sampleOnAdjust bool
+}
+
+type adjustRecord struct {
+	at    simtime.Time
+	node  int
+	delta simtime.Duration
+}
+
+// NewRecorder builds a recorder over the given clocks. theta is the
+// adversary period Θ used to decide the good set; sched is the corruption
+// schedule of the run (empty Schedule for fault-free runs).
+func NewRecorder(sim *des.Sim, clocks []*clock.Local, sched adversary.Schedule, theta simtime.Duration) *Recorder {
+	if theta <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive Θ %v", theta))
+	}
+	return &Recorder{
+		sim:     sim,
+		clocks:  clocks,
+		sched:   sched,
+		theta:   theta,
+		adjusts: make([]int, len(clocks)),
+	}
+}
+
+// SampleOnAdjust, when set before the run, additionally takes a measurement
+// sample immediately after every clock adjustment. Periodic sampling alone
+// can miss a deviation spike that appears and is corrected between two
+// samples; adjustment instants are exactly where biases change
+// discontinuously, so sampling there closes the gap.
+func (r *Recorder) SampleOnAdjust(enable bool) { r.sampleOnAdjust = enable }
+
+// AdjustHook returns a function suitable for protocol.Harness.OnAdjust for
+// processor id.
+func (r *Recorder) AdjustHook(id int) func(simtime.Time, simtime.Duration) {
+	return func(at simtime.Time, delta simtime.Duration) {
+		r.adjusts[id]++
+		r.adjustLog = append(r.adjustLog, adjustRecord{at: at, node: id, delta: delta})
+		if r.sampleOnAdjust {
+			r.TakeSample(at)
+		}
+	}
+}
+
+// Start arms periodic sampling with the given period.
+func (r *Recorder) Start(period simtime.Duration) {
+	des.NewTicker(r.sim, period, func(now simtime.Time) { r.TakeSample(now) })
+}
+
+// TakeSample records one measurement immediately.
+func (r *Recorder) TakeSample(now simtime.Time) {
+	s := Sample{
+		At:     now,
+		Biases: make([]simtime.Duration, len(r.clocks)),
+		Good:   make([]bool, len(r.clocks)),
+	}
+	lookback := simtime.Interval{Lo: now.Add(-r.theta), Hi: now}
+	var goodBiases []float64
+	for i, c := range r.clocks {
+		s.Biases[i] = c.Bias(now)
+		s.Good[i] = !r.sched.ControlledWithin(i, lookback)
+		if s.Good[i] {
+			goodBiases = append(goodBiases, float64(s.Biases[i]))
+		}
+	}
+	s.Deviation = simtime.Duration(stats.Spread(goodBiases))
+	r.samples = append(r.samples, s)
+}
+
+// Samples returns the recorded samples.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Report condenses a run.
+type Report struct {
+	// MaxDeviation is the largest good-set deviation over all samples at or
+	// after the measurement start (Theorem 5(i) measures this against Δ).
+	MaxDeviation simtime.Duration
+	// MeanDeviation averages the good-set deviation over the same samples.
+	MeanDeviation simtime.Duration
+	// MaxDiscontinuity is the largest single clock adjustment by a
+	// processor that was non-faulty throughout the preceding Θ — Theorem
+	// 5(ii)'s ψ, which by Definition 3(ii) does not cover recovering
+	// processors.
+	MaxDiscontinuity simtime.Duration
+	// MaxAdjustment is the largest single adjustment by anyone, recovery
+	// jumps included.
+	MaxAdjustment simtime.Duration
+	// WorstRate is the largest |rate − 1| of any processor's logical clock
+	// measured over maximal good stretches (Theorem 5(ii)'s ρ̃).
+	WorstRate float64
+	// AccuracyDrawdown and AccuracyRunup measure Definition 3(ii)/Equation 3
+	// directly: over every good stretch and every sample pair τ1 < τ2
+	// within it,
+	//
+	//	C(τ2) − C(τ1) ≥ (τ2−τ1)/(1+ρ̃) − ψ  and  ≤ (τ2−τ1)·(1+ρ̃) + ψ.
+	//
+	// Drawdown is the worst shortfall of C against the lower rate line
+	// (max over pairs of the left-hand violation) and Runup the worst
+	// excess over the upper line; Theorem 5(ii) claims both stay ≤ ψ.
+	// They are computed with the ρ̃ supplied in ReportOptions.
+	AccuracyDrawdown simtime.Duration
+	AccuracyRunup    simtime.Duration
+	// Recoveries lists the measured recovery of every release event.
+	Recoveries []Recovery
+}
+
+// Recovery describes how one released processor rejoined.
+type Recovery struct {
+	Node       int
+	ReleasedAt simtime.Time
+	// Rejoined is the first sample instant after release at which the
+	// processor's bias was within Margin of the good processors' range.
+	Rejoined simtime.Time
+	// Ok is false when the processor never rejoined before the run ended.
+	Ok bool
+	// InitialDistance is the bias distance from the good range at release.
+	InitialDistance simtime.Duration
+}
+
+// Time returns the measured recovery duration.
+func (rv Recovery) Time() simtime.Duration { return rv.Rejoined.Sub(rv.ReleasedAt) }
+
+// ReportOptions tunes report computation.
+type ReportOptions struct {
+	// SkipBefore drops samples earlier than this from deviation statistics
+	// (warm-up transients).
+	SkipBefore simtime.Time
+	// RecoveryMargin is the bias distance from the good range under which a
+	// released processor counts as rejoined.
+	RecoveryMargin simtime.Duration
+	// MinRateWindow is the minimal good-stretch length over which clock
+	// rates are measured; shorter stretches are noise-dominated.
+	MinRateWindow simtime.Duration
+	// LogicalDriftBound is the ρ̃ used for the Equation 3 accuracy
+	// measurement (AccuracyDrawdown/Runup); zero disables it.
+	LogicalDriftBound float64
+}
+
+// BuildReport computes the run report.
+func (r *Recorder) BuildReport(opts ReportOptions) Report {
+	if opts.RecoveryMargin <= 0 {
+		opts.RecoveryMargin = 100 * simtime.Millisecond
+	}
+	if opts.MinRateWindow <= 0 {
+		opts.MinRateWindow = 10 * simtime.Second
+	}
+	rep := Report{}
+	var devs []float64
+	for _, s := range r.samples {
+		if s.At < opts.SkipBefore {
+			continue
+		}
+		devs = append(devs, float64(s.Deviation))
+	}
+	if len(devs) > 0 {
+		sum := stats.Summarize(devs)
+		rep.MaxDeviation = simtime.Duration(sum.Max)
+		rep.MeanDeviation = simtime.Duration(sum.Mean)
+	}
+	for _, a := range r.adjustLog {
+		d := a.delta.Abs()
+		if d > rep.MaxAdjustment {
+			rep.MaxAdjustment = d
+		}
+		if a.at < opts.SkipBefore {
+			continue // warm-up convergence; the guarantees assume a synchronized start
+		}
+		lookback := simtime.Interval{Lo: a.at.Add(-r.theta), Hi: a.at}
+		if !r.sched.ControlledWithin(a.node, lookback) && d > rep.MaxDiscontinuity {
+			rep.MaxDiscontinuity = d
+		}
+	}
+	rep.WorstRate = r.worstRate(opts)
+	if opts.LogicalDriftBound > 0 {
+		rep.AccuracyDrawdown, rep.AccuracyRunup = r.accuracyEnvelope(opts.LogicalDriftBound, opts.SkipBefore)
+	}
+	rep.Recoveries = r.recoveries(opts)
+	return rep
+}
+
+// accuracyEnvelope measures the Equation 3 drawdown/runup per processor
+// over its maximal good stretches in O(samples): the lower-bound violation
+// over all pairs τ1 < τ2 equals the maximum drawdown of
+// g(τ) = C(τ) − τ/(1+ρ̃), and the upper-bound violation the maximum runup
+// of h(τ) = C(τ) − τ·(1+ρ̃).
+func (r *Recorder) accuracyEnvelope(rhoTilde float64, skipBefore simtime.Time) (drawdown, runup simtime.Duration) {
+	for id := range r.clocks {
+		gMax := math.Inf(-1) // running max of g → drawdown = gMax − g(τ2)
+		hMin := math.Inf(1)  // running min of h → runup = h(τ2) − hMin
+		inRun := false
+		for _, s := range r.samples {
+			if !s.Good[id] || s.At < skipBefore {
+				inRun = false
+				continue
+			}
+			tau := float64(s.At)
+			c := tau + float64(s.Biases[id])
+			g := c - tau/(1+rhoTilde)
+			h := c - tau*(1+rhoTilde)
+			if !inRun {
+				gMax, hMin, inRun = g, h, true
+				continue
+			}
+			if d := simtime.Duration(gMax - g); d > drawdown {
+				drawdown = d
+			}
+			if u := simtime.Duration(h - hMin); u > runup {
+				runup = u
+			}
+			gMax = math.Max(gMax, g)
+			hMin = math.Min(hMin, h)
+		}
+	}
+	return drawdown, runup
+}
+
+// worstRate measures logical clock rates over maximal stretches of samples
+// where a processor is good, using endpoint differences.
+func (r *Recorder) worstRate(opts ReportOptions) float64 {
+	worst := 0.0
+	for id := range r.clocks {
+		runStart := -1
+		flush := func(endIdx int) {
+			if runStart < 0 {
+				return
+			}
+			first, last := r.samples[runStart], r.samples[endIdx]
+			span := last.At.Sub(first.At)
+			if span >= opts.MinRateWindow {
+				dC := float64(last.Biases[id]-first.Biases[id]) + float64(span)
+				rate := dC / float64(span)
+				if dev := math.Abs(rate - 1); dev > worst {
+					worst = dev
+				}
+			}
+			runStart = -1
+		}
+		for i, s := range r.samples {
+			if s.Good[id] {
+				if runStart < 0 {
+					runStart = i
+				}
+			} else {
+				flush(i - 1)
+			}
+		}
+		flush(len(r.samples) - 1)
+	}
+	return worst
+}
+
+// recoveries inspects each release event in the schedule.
+func (r *Recorder) recoveries(opts ReportOptions) []Recovery {
+	var out []Recovery
+	for _, c := range r.sched.Corruptions {
+		rv := Recovery{Node: c.Node, ReleasedAt: c.To}
+		seenRelease := false
+		for _, s := range r.samples {
+			if s.At < c.To {
+				continue
+			}
+			lo, hi, ok := goodRange(s, c.Node)
+			if !ok {
+				continue
+			}
+			dist := distanceToRange(float64(s.Biases[c.Node]), lo, hi)
+			if !seenRelease {
+				rv.InitialDistance = simtime.Duration(dist)
+				seenRelease = true
+			}
+			if dist <= float64(opts.RecoveryMargin) {
+				rv.Rejoined = s.At
+				rv.Ok = true
+				break
+			}
+		}
+		out = append(out, rv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ReleasedAt < out[j].ReleasedAt })
+	return out
+}
+
+// goodRange returns the bias range of the good processors other than
+// `exclude` at sample s. ok is false when no other processor is good.
+func goodRange(s Sample, exclude int) (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i, g := range s.Good {
+		if !g || i == exclude {
+			continue
+		}
+		b := float64(s.Biases[i])
+		lo = math.Min(lo, b)
+		hi = math.Max(hi, b)
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+func distanceToRange(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo - x
+	case x > hi:
+		return x - hi
+	default:
+		return 0
+	}
+}
+
+// DeviationSeries extracts (time, deviation) pairs for plotting.
+func (r *Recorder) DeviationSeries() (ts []float64, devs []float64) {
+	for _, s := range r.samples {
+		ts = append(ts, float64(s.At))
+		devs = append(devs, float64(s.Deviation))
+	}
+	return ts, devs
+}
+
+// BiasSeries extracts (time, bias) pairs for one processor.
+func (r *Recorder) BiasSeries(id int) (ts []float64, biases []float64) {
+	for _, s := range r.samples {
+		ts = append(ts, float64(s.At))
+		biases = append(biases, float64(s.Biases[id]))
+	}
+	return ts, biases
+}
+
+// AdjustCount returns the number of adjustments processor id applied.
+func (r *Recorder) AdjustCount(id int) int { return r.adjusts[id] }

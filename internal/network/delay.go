@@ -1,0 +1,112 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clocksync/internal/simtime"
+)
+
+// DelayModel samples the one-way latency of a message from processor `from`
+// to processor `to`. The paper assumes a delivery bound δ between non-faulty
+// processors; models used in bound-checking experiments must keep their
+// samples ≤ δ, while models used for failure injection may exceed it (a late
+// message is indistinguishable from a lost one once MaxWait passes).
+type DelayModel interface {
+	Sample(from, to int, rng *rand.Rand) simtime.Duration
+	// Bound returns the model's worst-case latency δ (simtime.Infinity if
+	// unbounded). Protocol parameter derivation uses it.
+	Bound() simtime.Duration
+}
+
+// ConstantDelay delivers every message after exactly D.
+type ConstantDelay struct {
+	D simtime.Duration
+}
+
+// Sample implements DelayModel.
+func (c ConstantDelay) Sample(_, _ int, _ *rand.Rand) simtime.Duration { return c.D }
+
+// Bound implements DelayModel.
+func (c ConstantDelay) Bound() simtime.Duration { return c.D }
+
+// UniformDelay samples latencies uniformly from [Min, Max].
+type UniformDelay struct {
+	Min, Max simtime.Duration
+}
+
+// NewUniformDelay validates and returns a uniform model.
+func NewUniformDelay(min, max simtime.Duration) UniformDelay {
+	if min < 0 || max < min {
+		panic(fmt.Sprintf("network: bad uniform delay [%v, %v]", min, max))
+	}
+	return UniformDelay{Min: min, Max: max}
+}
+
+// Sample implements DelayModel.
+func (u UniformDelay) Sample(_, _ int, rng *rand.Rand) simtime.Duration {
+	return u.Min + simtime.Duration(rng.Float64())*(u.Max-u.Min)
+}
+
+// Bound implements DelayModel.
+func (u UniformDelay) Bound() simtime.Duration { return u.Max }
+
+// AsymmetricDelay gives each direction of each link its own uniform range:
+// messages from a lower-numbered to a higher-numbered processor take
+// [FwdMin, FwdMax], the reverse direction [RevMin, RevMax]. Asymmetry is the
+// classic worst case for ping-based offset estimation (§3.1): the estimate's
+// error approaches half the asymmetry.
+type AsymmetricDelay struct {
+	FwdMin, FwdMax simtime.Duration
+	RevMin, RevMax simtime.Duration
+}
+
+// Sample implements DelayModel.
+func (a AsymmetricDelay) Sample(from, to int, rng *rand.Rand) simtime.Duration {
+	if from < to {
+		return a.FwdMin + simtime.Duration(rng.Float64())*(a.FwdMax-a.FwdMin)
+	}
+	return a.RevMin + simtime.Duration(rng.Float64())*(a.RevMax-a.RevMin)
+}
+
+// Bound implements DelayModel.
+func (a AsymmetricDelay) Bound() simtime.Duration {
+	return simtime.MaxDuration(a.FwdMax, a.RevMax)
+}
+
+// SpikyDelay models a network whose latency is usually Base-ish but
+// occasionally spikes: with probability SpikeProb the sample gets an extra
+// uniform [0, SpikeMax] added. Used to evaluate the min-RTT-of-k estimation
+// refinement (E10) and timeout handling.
+type SpikyDelay struct {
+	Base      UniformDelay
+	SpikeProb float64
+	SpikeMax  simtime.Duration
+}
+
+// Sample implements DelayModel.
+func (s SpikyDelay) Sample(from, to int, rng *rand.Rand) simtime.Duration {
+	d := s.Base.Sample(from, to, rng)
+	if rng.Float64() < s.SpikeProb {
+		d += simtime.Duration(rng.Float64()) * s.SpikeMax
+	}
+	return d
+}
+
+// Bound implements DelayModel.
+func (s SpikyDelay) Bound() simtime.Duration { return s.Base.Max + s.SpikeMax }
+
+// DelayFunc adapts a function to the DelayModel interface; BoundVal reports
+// its worst case.
+type DelayFunc struct {
+	Fn       func(from, to int, rng *rand.Rand) simtime.Duration
+	BoundVal simtime.Duration
+}
+
+// Sample implements DelayModel.
+func (d DelayFunc) Sample(from, to int, rng *rand.Rand) simtime.Duration {
+	return d.Fn(from, to, rng)
+}
+
+// Bound implements DelayModel.
+func (d DelayFunc) Bound() simtime.Duration { return d.BoundVal }

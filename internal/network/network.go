@@ -1,0 +1,151 @@
+package network
+
+import (
+	"fmt"
+
+	"clocksync/internal/des"
+	"clocksync/internal/simtime"
+)
+
+// Message is a delivered datagram. From is trustworthy: links are
+// authenticated per §2.2, so a receiver always knows the true sender. A
+// Byzantine processor can send arbitrary payloads but only under its own
+// identity.
+type Message struct {
+	From, To    int
+	Payload     any
+	SentAt      simtime.Time
+	DeliveredAt simtime.Time
+}
+
+// Handler consumes messages delivered to a registered processor.
+type Handler func(Message)
+
+// Counters aggregates per-processor traffic statistics, used by the message
+// overhead experiment (E8).
+type Counters struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	Bytes     int // approximate payload size, when payloads implement Sizer
+}
+
+// Sizer lets payload types report an approximate wire size for the overhead
+// accounting; payloads that don't implement it count a fixed nominal size.
+type Sizer interface {
+	WireSize() int
+}
+
+// nominalSize approximates the wire size of payloads that do not implement
+// Sizer: headers plus a small body.
+const nominalSize = 32
+
+// Network is the simulated authenticated message layer.
+type Network struct {
+	sim      *des.Sim
+	topo     Topology
+	delay    DelayModel
+	handlers []Handler
+	counters []Counters
+	// DropProb is the probability a message is silently lost, for failure
+	// injection. The paper's link model is reliable; experiments that check
+	// the analytic bounds leave this at zero.
+	DropProb float64
+	// Partitioned, when non-nil, reports link outage for a pair at send
+	// time (failure injection beyond the paper's model).
+	Partitioned func(from, to int, now simtime.Time) bool
+}
+
+// New wires a network over the given simulator, topology and delay model.
+func New(sim *des.Sim, topo Topology, delay DelayModel) *Network {
+	return &Network{
+		sim:      sim,
+		topo:     topo,
+		delay:    delay,
+		handlers: make([]Handler, topo.N()),
+		counters: make([]Counters, topo.N()),
+	}
+}
+
+// Topology returns the network's topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Delay returns the network's delay model.
+func (n *Network) Delay() DelayModel { return n.delay }
+
+// Register installs the message handler for processor id. Each processor
+// registers exactly once, before the simulation starts.
+func (n *Network) Register(id int, h Handler) {
+	if n.handlers[id] != nil {
+		panic(fmt.Sprintf("network: processor %d registered twice", id))
+	}
+	n.handlers[id] = h
+}
+
+// Send transmits payload from processor `from` to processor `to`. The
+// message is delivered after a sampled latency unless dropped. Sending to a
+// non-neighbor is a programming error in the protocol and panics.
+func (n *Network) Send(from, to int, payload any) {
+	if !n.topo.Connected(from, to) {
+		panic(fmt.Sprintf("network: %d -> %d not connected", from, to))
+	}
+	size := nominalSize
+	if s, ok := payload.(Sizer); ok {
+		size = s.WireSize()
+	}
+	n.counters[from].Sent++
+	n.counters[from].Bytes += size
+	if n.Partitioned != nil && n.Partitioned(from, to, n.sim.Now()) {
+		n.counters[from].Dropped++
+		return
+	}
+	if n.DropProb > 0 && n.sim.Rand().Float64() < n.DropProb {
+		n.counters[from].Dropped++
+		return
+	}
+	sent := n.sim.Now()
+	d := n.delay.Sample(from, to, n.sim.Rand())
+	n.sim.After(d, func() {
+		h := n.handlers[to]
+		if h == nil {
+			return
+		}
+		n.counters[to].Delivered++
+		h(Message{From: from, To: to, Payload: payload, SentAt: sent, DeliveredAt: n.sim.Now()})
+	})
+}
+
+// SendToNeighbors transmits payload from `from` to every neighbor.
+func (n *Network) SendToNeighbors(from int, payload any) {
+	for _, to := range n.topo.Neighbors(from) {
+		n.Send(from, to, payload)
+	}
+}
+
+// CountersFor returns a copy of processor id's traffic counters.
+func (n *Network) CountersFor(id int) Counters { return n.counters[id] }
+
+// TotalSent returns the total number of messages sent by all processors.
+func (n *Network) TotalSent() int {
+	total := 0
+	for i := range n.counters {
+		total += n.counters[i].Sent
+	}
+	return total
+}
+
+// TotalBytes returns the total approximate bytes sent by all processors.
+func (n *Network) TotalBytes() int {
+	total := 0
+	for i := range n.counters {
+		total += n.counters[i].Bytes
+	}
+	return total
+}
+
+// ResetCounters zeroes all traffic counters (e.g. after warm-up).
+func (n *Network) ResetCounters() {
+	for i := range n.counters {
+		n.counters[i] = Counters{}
+	}
+}

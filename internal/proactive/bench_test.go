@@ -1,0 +1,53 @@
+package proactive
+
+import (
+	"math/big"
+	"testing"
+)
+
+func BenchmarkShareAt(b *testing.B) {
+	s, err := NewSharing(1, big.NewInt(123456), 7, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.ShareAt(0, 64) // pre-generate the refresh history
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ShareAt(i%7, 64)
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	for _, k := range []int{3, 7, 15} {
+		s, err := NewSharing(1, big.NewInt(987654321), 2*k, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shares := make([]Share, k)
+		for i := range shares {
+			shares[i] = s.ShareAt(i, 0)
+		}
+		b.Run(itoa(k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Reconstruct(shares, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,184 @@
+// Package proactive implements the slice of proactive secret sharing needed
+// to exercise the paper's motivating application (§1): Shamir shares over a
+// prime field, and epoch-based share refresh with zero-polynomials
+// (Herzberg–Jarecki–Krawczyk–Yung style, simplified to a trusted sum).
+//
+// The security story the paper supplies the foundation for: shares are
+// refreshed every epoch, so an attacker must collect a reconstruction
+// threshold of shares *of the same epoch*. Refresh is driven by each
+// holder's local clock — if clocks desynchronize by more than the refresh
+// grace, a lagging holder keeps serving an old epoch's share and a mobile
+// adversary can combine it with shares stolen during that epoch, defeating
+// proactivity without ever exceeding its per-period corruption budget.
+// Experiment E18 demonstrates exactly this, with real reconstruction.
+package proactive
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// fieldPrime is the Mersenne prime 2^127 − 1; all share arithmetic is mod
+// this prime. 127 bits is ample for a demonstration secret.
+var fieldPrime = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 127), big.NewInt(1))
+
+// FieldPrime returns (a copy of) the field modulus.
+func FieldPrime() *big.Int { return new(big.Int).Set(fieldPrime) }
+
+// Share is one holder's point on the sharing polynomial for one epoch.
+// X is the holder's evaluation point (holder id + 1; never zero, which is
+// the secret's position). Epoch tags which refresh generation the share
+// belongs to — shares of different epochs lie on different polynomials and
+// do not combine.
+type Share struct {
+	X     int
+	Y     *big.Int
+	Epoch int64
+}
+
+// polynomial is a list of coefficients, constant term first.
+type polynomial []*big.Int
+
+// eval computes p(x) mod fieldPrime by Horner's rule.
+func (p polynomial) eval(x int64) *big.Int {
+	acc := new(big.Int)
+	bx := big.NewInt(x)
+	for i := len(p) - 1; i >= 0; i-- {
+		acc.Mul(acc, bx)
+		acc.Add(acc, p[i])
+		acc.Mod(acc, fieldPrime)
+	}
+	return acc
+}
+
+// randomPoly draws a degree-(k−1) polynomial with the given constant term.
+func randomPoly(rng *rand.Rand, constant *big.Int, k int) polynomial {
+	p := make(polynomial, k)
+	p[0] = new(big.Int).Mod(constant, fieldPrime)
+	for i := 1; i < k; i++ {
+		p[i] = new(big.Int).Rand(rng, fieldPrime)
+	}
+	return p
+}
+
+// Sharing is a secret split among n holders with reconstruction threshold k,
+// together with the refresh history: ZeroPoly(e) is the zero-constant
+// polynomial added to every share at epoch e, so a holder's epoch-e share is
+// base(x) + Σ_{1 ≤ j ≤ e} Z_j(x). Generating each epoch's polynomial from a
+// seeded stream keeps the whole history reproducible and lazily computable.
+type Sharing struct {
+	N, K   int
+	secret *big.Int
+	base   polynomial
+	rng    *rand.Rand
+	zeros  []polynomial // zeros[e-1] is epoch e's refresh polynomial
+}
+
+// NewSharing splits secret among n holders with threshold k.
+func NewSharing(seed int64, secret *big.Int, n, k int) (*Sharing, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("proactive: threshold k=%d out of range [2, n=%d]", k, n)
+	}
+	if secret.Sign() < 0 || secret.Cmp(fieldPrime) >= 0 {
+		return nil, fmt.Errorf("proactive: secret outside the field")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Sharing{
+		N:      n,
+		K:      k,
+		secret: new(big.Int).Set(secret),
+		base:   randomPoly(rng, secret, k),
+		rng:    rng,
+	}, nil
+}
+
+// zeroPoly returns epoch e's refresh polynomial (constant term zero),
+// generating epochs lazily in order.
+func (s *Sharing) zeroPoly(epoch int64) polynomial {
+	if epoch < 1 {
+		panic(fmt.Sprintf("proactive: epoch %d < 1", epoch))
+	}
+	for int64(len(s.zeros)) < epoch {
+		s.zeros = append(s.zeros, randomPoly(s.rng, big.NewInt(0), s.K))
+	}
+	return s.zeros[epoch-1]
+}
+
+// ShareAt returns holder's share as of the given epoch (epoch 0 is the
+// initial sharing; each later epoch adds one refresh).
+func (s *Sharing) ShareAt(holder int, epoch int64) Share {
+	if holder < 0 || holder >= s.N {
+		panic(fmt.Sprintf("proactive: holder %d out of range", holder))
+	}
+	if epoch < 0 {
+		panic(fmt.Sprintf("proactive: negative epoch %d", epoch))
+	}
+	x := int64(holder + 1)
+	y := new(big.Int).Set(s.base.eval(x))
+	for e := int64(1); e <= epoch; e++ {
+		y.Add(y, s.zeroPoly(e).eval(x))
+		y.Mod(y, fieldPrime)
+	}
+	return Share{X: holder + 1, Y: y, Epoch: epoch}
+}
+
+// Secret returns the shared secret (for verification in tests and
+// experiments).
+func (s *Sharing) Secret() *big.Int { return new(big.Int).Set(s.secret) }
+
+// Reconstruct recovers the secret from k or more shares of the same epoch
+// by Lagrange interpolation at zero. It errors on mixed epochs, duplicate
+// points, or too few shares — and, critically for the experiments, shares
+// of different epochs that are force-mixed reconstruct garbage, which
+// ReconstructUnchecked demonstrates.
+func Reconstruct(shares []Share, k int) (*big.Int, error) {
+	if len(shares) < k {
+		return nil, fmt.Errorf("proactive: %d shares below threshold %d", len(shares), k)
+	}
+	epoch := shares[0].Epoch
+	seen := make(map[int]bool, len(shares))
+	for _, sh := range shares {
+		if sh.Epoch != epoch {
+			return nil, fmt.Errorf("proactive: mixed epochs %d and %d", epoch, sh.Epoch)
+		}
+		if seen[sh.X] {
+			return nil, fmt.Errorf("proactive: duplicate share for x=%d", sh.X)
+		}
+		seen[sh.X] = true
+	}
+	return lagrangeAtZero(shares[:k]), nil
+}
+
+// ReconstructUnchecked interpolates without the same-epoch guard; mixing
+// epochs yields a field element unrelated to the secret (the experiments
+// use it to show that cross-epoch shares are worthless).
+func ReconstructUnchecked(shares []Share) *big.Int {
+	return lagrangeAtZero(shares)
+}
+
+func lagrangeAtZero(shares []Share) *big.Int {
+	sum := new(big.Int)
+	for i, si := range shares {
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		xi := big.NewInt(int64(si.X))
+		for j, sj := range shares {
+			if i == j {
+				continue
+			}
+			xj := big.NewInt(int64(sj.X))
+			num.Mul(num, new(big.Int).Neg(xj))
+			num.Mod(num, fieldPrime)
+			den.Mul(den, new(big.Int).Sub(xi, xj))
+			den.Mod(den, fieldPrime)
+		}
+		term := new(big.Int).ModInverse(den, fieldPrime)
+		term.Mul(term, num)
+		term.Mul(term, si.Y)
+		term.Mod(term, fieldPrime)
+		sum.Add(sum, term)
+		sum.Mod(sum, fieldPrime)
+	}
+	return sum
+}

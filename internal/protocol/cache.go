@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"fmt"
+
+	"clocksync/internal/simtime"
+)
+
+// EstimateCache implements the estimation variant §3.1 discusses: instead of
+// pinging peers synchronously inside every Sync, a background "thread" (an
+// alarm loop on the local clock) refreshes offset estimates continuously and
+// the protocol reads the latest stored value instantly.
+//
+// The paper is explicit that this breaks Definition 4 — "the separate thread
+// may return an old cached value which was measured before the call to the
+// clock estimation procedure. Hence, the analysis in this paper cannot be
+// applied right out of the box" — and that the protocol must police the
+// thread itself ("periodically check that this thread exists and restart it
+// otherwise"). Experiment E17 measures the consequences: a stale cache makes
+// the node's *own* adjustments invisible to its next convergence step, which
+// turns the WayOff recovery jump into an overshoot oscillation unless the
+// cache is invalidated after every adjustment.
+type EstimateCache struct {
+	h       *Harness
+	peers   []int
+	refresh simtime.Duration
+	maxWait simtime.Duration
+
+	latest  map[int]cachedEstimate
+	sweeps  int
+	started bool
+}
+
+type cachedEstimate struct {
+	est     Estimate
+	atLocal simtime.Time // local clock when the reply was processed
+}
+
+// NewEstimateCache builds a cache over the given peers. refresh is the local
+// time between sweeps; it may be longer or shorter than the protocol's
+// SyncInt — §3.1's point is precisely that the two are decoupled.
+func NewEstimateCache(h *Harness, peers []int, refresh, maxWait simtime.Duration) *EstimateCache {
+	if refresh <= 0 || maxWait <= 0 {
+		panic(fmt.Sprintf("protocol: cache needs positive refresh (%v) and maxWait (%v)", refresh, maxWait))
+	}
+	return &EstimateCache{
+		h:       h,
+		peers:   append([]int(nil), peers...),
+		refresh: refresh,
+		maxWait: maxWait,
+		latest:  make(map[int]cachedEstimate),
+	}
+}
+
+// Start launches the refresh loop. The alarm chain runs on the hardware
+// clock and survives corruption (the "restart the thread" requirement); the
+// sweep itself is suspended while the processor is faulty.
+func (c *EstimateCache) Start() {
+	if c.started {
+		panic("protocol: cache started twice")
+	}
+	c.started = true
+	c.h.ScheduleLocal(c.refresh, c.sweep)
+}
+
+func (c *EstimateCache) sweep() {
+	c.h.ScheduleLocal(c.refresh, c.sweep)
+	if c.h.Faulty() {
+		return
+	}
+	c.sweeps++
+	for _, peer := range c.peers {
+		peer := peer
+		c.h.Ping(peer, c.maxWait, func(e Estimate) {
+			if e.OK && !c.h.Faulty() {
+				c.latest[peer] = cachedEstimate{est: e, atLocal: c.h.LocalNow()}
+			}
+		})
+	}
+}
+
+// GetAll returns the latest stored estimate per peer, instantly; peers with
+// no (or invalidated) entry yield the failure sentinel. The returned
+// estimates carry the (d, a) measured at refresh time — NOT a Definition 4
+// guarantee about the present.
+func (c *EstimateCache) GetAll() []Estimate {
+	out := make([]Estimate, 0, len(c.peers))
+	for _, peer := range c.peers {
+		if ce, ok := c.latest[peer]; ok {
+			out = append(out, ce.est)
+		} else {
+			out = append(out, FailedEstimate(peer))
+		}
+	}
+	return out
+}
+
+// Age returns how much local time has passed since peer's entry was stored.
+func (c *EstimateCache) Age(peer int) (simtime.Duration, bool) {
+	ce, ok := c.latest[peer]
+	if !ok {
+		return 0, false
+	}
+	return c.h.LocalNow().Sub(ce.atLocal), true
+}
+
+// Invalidate drops every stored estimate. The repaired protocol variant
+// calls this after each of its own adjustments (and on release from a
+// break-in): a stored offset measured against the pre-adjustment clock is
+// off by exactly the adjustment, which is what drives the E17 oscillation.
+func (c *EstimateCache) Invalidate() {
+	c.latest = make(map[int]cachedEstimate)
+}
+
+// Sweeps returns the number of completed refresh sweeps (for tests).
+func (c *EstimateCache) Sweeps() int { return c.sweeps }

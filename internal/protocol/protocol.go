@@ -1,0 +1,351 @@
+// Package protocol provides the node harness shared by the paper's Sync
+// protocol and the baseline comparators: wire message types, alarms driven
+// by the (unresettable) hardware clock, the ping/echo clock-estimation
+// engine of §3.1, and the hooks through which a mobile adversary takes over
+// and releases a processor.
+package protocol
+
+import (
+	"fmt"
+
+	"clocksync/internal/clock"
+	"clocksync/internal/des"
+	"clocksync/internal/network"
+	"clocksync/internal/simtime"
+)
+
+// TimeReq asks a peer for its current clock reading. Nonce ties the reply to
+// the request, which rules out replays confusing an estimation round (the
+// paper notes its link model "does not completely rule out replay" but that
+// this does not hurt the application; nonces make the simulation strict).
+type TimeReq struct {
+	Nonce uint64
+}
+
+// WireSize implements network.Sizer.
+func (TimeReq) WireSize() int { return 20 }
+
+// TimeResp carries the responder's clock value at the moment of reply.
+type TimeResp struct {
+	Nonce uint64
+	Clock simtime.Time
+}
+
+// WireSize implements network.Sizer.
+func (TimeResp) WireSize() int { return 28 }
+
+// Estimate is the (d, a) pair of Definition 4: "since the procedure was
+// invoked there was a point at which C_q − C_p was in [D−A, D+A]".
+type Estimate struct {
+	Peer int
+	D    simtime.Duration // estimated offset C_q − C_p
+	A    simtime.Duration // error bound; simtime.Infinity on timeout
+	OK   bool             // false when the peer did not answer in time
+}
+
+// Over returns the overestimate d̄ = d + a (Figure 1, line 6).
+func (e Estimate) Over() simtime.Duration { return e.D + e.A }
+
+// Under returns the underestimate d̲ = d − a (Figure 1, line 7).
+func (e Estimate) Under() simtime.Duration { return e.D - e.A }
+
+// FailedEstimate is the sentinel for a timed-out peer: d = 0, a = ∞ (§3.1),
+// so the overestimate is +∞ and the underestimate −∞ — values that the
+// (f+1)-st order statistics of the convergence function trim away.
+func FailedEstimate(peer int) Estimate {
+	return Estimate{Peer: peer, D: 0, A: simtime.Infinity, OK: false}
+}
+
+// Behavior scripts a corrupted processor. While a processor is faulty its
+// correct protocol logic is suspended and the adversary answers (or ignores)
+// incoming time requests on its behalf, with full knowledge of the victim's
+// state and, via whatever the concrete behavior closes over, of all network
+// traffic — the full power §2.2 grants.
+type Behavior interface {
+	// RespondTime decides the clock value the corrupted processor reports to
+	// peer. Returning reply=false suppresses the response entirely.
+	RespondTime(h *Harness, peer int, now simtime.Time) (reading simtime.Time, reply bool)
+	// OnCorrupt runs when the adversary takes the processor over; it may
+	// rewrite any state, including the adjustment variable.
+	OnCorrupt(h *Harness, now simtime.Time)
+	// OnRelease runs when the adversary leaves the processor.
+	OnRelease(h *Harness, now simtime.Time)
+}
+
+// Harness owns the per-processor machinery. Protocols embed a *Harness and
+// drive it; the scenario runner corrupts and releases processors through it.
+type Harness struct {
+	id  int
+	sim *des.Sim
+	net *network.Network
+	clk *clock.Local
+
+	faulty   bool
+	behavior Behavior
+
+	nonce   uint64
+	pending map[uint64]pendingPing
+	round   *estimationRound
+
+	// Custom handles payloads other than TimeReq/TimeResp (round-based
+	// baselines exchange their own message types). Nil for Sync.
+	Custom func(network.Message)
+
+	// OnAdjust observes every adjustment a correct processor applies; the
+	// metrics recorder uses it to measure discontinuity (Definition 3(ii)).
+	OnAdjust func(now simtime.Time, delta simtime.Duration)
+
+	// OnRelease lets the protocol rearm its loop when the adversary leaves
+	// (the paper: "one must make sure that this alarm is recovered after a
+	// break-in").
+	OnRelease func(now simtime.Time)
+}
+
+type pendingPing struct {
+	peer   int
+	sentAt simtime.Time // local clock S at send
+	done   func(Estimate)
+}
+
+// NewHarness builds the harness for processor id and registers its network
+// handler.
+func NewHarness(id int, sim *des.Sim, net *network.Network, clk *clock.Local) *Harness {
+	h := &Harness{
+		id:      id,
+		sim:     sim,
+		net:     net,
+		clk:     clk,
+		pending: make(map[uint64]pendingPing),
+	}
+	net.Register(id, h.receive)
+	return h
+}
+
+// ID returns the processor's identity.
+func (h *Harness) ID() int { return h.id }
+
+// Sim returns the simulator the harness runs on.
+func (h *Harness) Sim() *des.Sim { return h.sim }
+
+// Net returns the message layer.
+func (h *Harness) Net() *network.Network { return h.net }
+
+// Clock returns the processor's logical clock.
+func (h *Harness) Clock() *clock.Local { return h.clk }
+
+// LocalNow returns C_p at the current simulation instant.
+func (h *Harness) LocalNow() simtime.Time { return h.clk.Now(h.sim.Now()) }
+
+// Faulty reports whether the processor is currently controlled by the
+// adversary.
+func (h *Harness) Faulty() bool { return h.faulty }
+
+// Corrupt hands the processor to the adversary.
+func (h *Harness) Corrupt(b Behavior) {
+	if h.faulty {
+		panic(fmt.Sprintf("protocol: processor %d corrupted twice", h.id))
+	}
+	h.faulty = true
+	h.behavior = b
+	// The adversary owns all protocol state from here on; in-flight
+	// estimates are meaningless once the processor recovers.
+	h.abortEstimation()
+	b.OnCorrupt(h, h.sim.Now())
+}
+
+// Release returns the processor to correct operation. In-flight protocol
+// state left by the adversary is discarded and the protocol's OnRelease hook
+// rearms its loop.
+func (h *Harness) Release() {
+	if !h.faulty {
+		panic(fmt.Sprintf("protocol: processor %d released while not faulty", h.id))
+	}
+	h.behavior.OnRelease(h, h.sim.Now())
+	h.faulty = false
+	h.behavior = nil
+	h.abortEstimation()
+	if h.OnRelease != nil {
+		h.OnRelease(h.sim.Now())
+	}
+}
+
+// Adjust applies a correction to the logical clock on behalf of the correct
+// protocol and reports it to the metrics hook.
+func (h *Harness) Adjust(delta simtime.Duration) {
+	h.clk.Adjust(delta)
+	if h.OnAdjust != nil {
+		h.OnAdjust(h.sim.Now(), delta)
+	}
+}
+
+// ScheduleLocal schedules fn to run when the processor's *hardware* clock
+// has advanced by d. Alarms are hardware-driven so that an adversary who
+// smashes the logical clock cannot starve the sync loop; this matches §3.3
+// ("Every SyncInt time units of local time", with the alarm surviving
+// break-ins).
+func (h *Harness) ScheduleLocal(d simtime.Duration, fn func()) *des.Event {
+	if d < 0 {
+		panic(fmt.Sprintf("protocol: negative local delay %v", d))
+	}
+	now := h.sim.Now()
+	hw := h.clk.Hardware()
+	target := hw.Read(now).Add(d)
+	return h.sim.At(hw.RealAt(target, now), fn)
+}
+
+// receive dispatches a delivered message.
+func (h *Harness) receive(msg network.Message) {
+	switch p := msg.Payload.(type) {
+	case TimeReq:
+		h.answerTimeReq(msg.From, p)
+	case TimeResp:
+		h.handleTimeResp(msg.From, p)
+	default:
+		if h.faulty {
+			return // adversary ignores protocol-specific traffic by default
+		}
+		if h.Custom != nil {
+			h.Custom(msg)
+		}
+	}
+}
+
+// answerTimeReq replies with the current clock value — a processor always
+// reports its *current* clock; there are no per-round clocks to keep (§3.3).
+func (h *Harness) answerTimeReq(from int, req TimeReq) {
+	now := h.sim.Now()
+	if h.faulty {
+		reading, reply := h.behavior.RespondTime(h, from, now)
+		if reply {
+			h.net.Send(h.id, from, TimeResp{Nonce: req.Nonce, Clock: reading})
+		}
+		return
+	}
+	h.net.Send(h.id, from, TimeResp{Nonce: req.Nonce, Clock: h.clk.Now(now)})
+}
+
+func (h *Harness) handleTimeResp(from int, resp TimeResp) {
+	p, ok := h.pending[resp.Nonce]
+	if !ok || p.peer != from {
+		return // stale, aborted, or mismatched reply
+	}
+	delete(h.pending, resp.Nonce)
+	if h.faulty {
+		return
+	}
+	// p sent at local time S, received at local time R, peer reported C:
+	// d = C − (R+S)/2, a = (R−S)/2 (§3.1).
+	r := h.LocalNow()
+	s := p.sentAt
+	est := Estimate{
+		Peer: from,
+		D:    resp.Clock.Sub(r) + (r.Sub(s) / 2),
+		A:    r.Sub(s) / 2,
+		OK:   true,
+	}
+	p.done(est)
+}
+
+// Ping sends a single clock request to peer and invokes done exactly once:
+// with the measured estimate, or with FailedEstimate after timeout on the
+// local clock. It is the primitive beneath estimation rounds and the
+// min-RTT-of-k refinement.
+func (h *Harness) Ping(peer int, timeout simtime.Duration, done func(Estimate)) {
+	h.nonce++
+	nonce := h.nonce
+	fired := false
+	once := func(e Estimate) {
+		if fired {
+			return
+		}
+		fired = true
+		done(e)
+	}
+	h.pending[nonce] = pendingPing{peer: peer, sentAt: h.LocalNow(), done: once}
+	h.net.Send(h.id, peer, TimeReq{Nonce: nonce})
+	h.ScheduleLocal(timeout, func() {
+		if _, still := h.pending[nonce]; still {
+			delete(h.pending, nonce)
+			once(FailedEstimate(peer))
+		}
+	})
+}
+
+// estimationRound gathers estimates for a set of peers in parallel.
+type estimationRound struct {
+	got     int
+	results []Estimate
+	done    func([]Estimate)
+	aborted bool
+}
+
+// EstimateAll pings every listed peer in parallel and calls done with one
+// estimate per peer (results[i] answers peers[i]) once all have answered or
+// timed out. All estimations run concurrently, as the analysis assumes
+// (§3.2), so a round occupies at most MaxWait of local time. Only one round
+// may be in flight per processor.
+func (h *Harness) EstimateAll(peers []int, maxWait simtime.Duration, done func([]Estimate)) {
+	if h.round != nil && !h.round.aborted {
+		panic(fmt.Sprintf("protocol: processor %d started overlapping estimation rounds", h.id))
+	}
+	r := &estimationRound{
+		results: make([]Estimate, len(peers)),
+		done:    done,
+	}
+	h.round = r
+	if len(peers) == 0 {
+		h.round = nil
+		done(nil)
+		return
+	}
+	for i, peer := range peers {
+		i := i
+		h.Ping(peer, maxWait, func(e Estimate) {
+			if r.aborted {
+				return
+			}
+			r.results[i] = e
+			r.got++
+			if r.got == len(r.results) {
+				h.round = nil
+				r.done(r.results)
+			}
+		})
+	}
+}
+
+// abortEstimation invalidates any in-flight round and pings; their callbacks
+// will never fire.
+func (h *Harness) abortEstimation() {
+	if h.round != nil {
+		h.round.aborted = true
+		h.round = nil
+	}
+	h.pending = make(map[uint64]pendingPing)
+}
+
+// PingBest performs k sequential pings to peer and returns (via done) the
+// estimate with the smallest error bound a — i.e. the smallest round-trip
+// time. This is the standard refinement §3.1 mentions ("repeatedly ping the
+// other processor and choose the estimation given from the ping with the
+// least round trip time", as in NTP), trading timeliness for accuracy.
+func (h *Harness) PingBest(peer, k int, timeout simtime.Duration, done func(Estimate)) {
+	if k < 1 {
+		panic("protocol: PingBest needs k >= 1")
+	}
+	best := FailedEstimate(peer)
+	var step func(remaining int)
+	step = func(remaining int) {
+		h.Ping(peer, timeout, func(e Estimate) {
+			if e.OK && (!best.OK || e.A < best.A) {
+				best = e
+			}
+			if remaining == 1 {
+				done(best)
+				return
+			}
+			step(remaining - 1)
+		})
+	}
+	step(k)
+}

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"testing"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/analysis"
+	"clocksync/internal/protocol"
+	"clocksync/internal/simtime"
+)
+
+// TestLemma7EnvelopeContainment validates the proof's Property 1 on a real
+// trace: for every analysis interval [iT, (i+1)T], the biases of processors
+// that are good throughout stay inside the drift-widened envelope anchored
+// at the interval start. The proof grants the envelope slack D > 8ε; each
+// Sync can move a bias by at most the reading error beyond its peers'
+// range, so a 2ε margin plus drift widening must never be escaped. This ties
+// the Appendix A envelope algebra to the simulator output.
+func TestLemma7EnvelopeContainment(t *testing.T) {
+	theta := 4 * simtime.Minute
+	s := Scenario{
+		Name:       "lemma7",
+		Seed:       17,
+		N:          7,
+		F:          2,
+		Duration:   40 * simtime.Minute,
+		Theta:      theta,
+		Rho:        1e-4,
+		InitSpread: 100 * simtime.Millisecond,
+		Adversary: adversary.Rotate(7, 2, simtime.Time(2*theta), 30*simtime.Second, theta, 6,
+			func(int) protocol.Behavior { return adversary.ClockSmash{Offset: 10} }),
+		SamplePeriod: simtime.Second,
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := res.Recorder.Samples()
+	tT := float64(res.Bounds.T)
+	margin := 2 * res.Bounds.Eps
+
+	intervals := 0
+	for start := 0.0; start+tT <= float64(s.Duration); start += tT {
+		// Collect the samples of this interval.
+		var inWindow []int
+		for idx, smp := range samples {
+			if float64(smp.At) >= start && float64(smp.At) < start+tT {
+				inWindow = append(inWindow, idx)
+			}
+		}
+		if len(inWindow) < 3 {
+			continue
+		}
+		// Good throughout the interval = good (Θ-lookback) at its last sample.
+		lastSample := samples[inWindow[len(inWindow)-1]]
+		firstSample := samples[inWindow[0]]
+		var members []int
+		lo, hi := simtime.Duration(0), simtime.Duration(0)
+		first := true
+		for node := range lastSample.Good {
+			if !lastSample.Good[node] || !firstSample.Good[node] {
+				continue
+			}
+			members = append(members, node)
+			b := firstSample.Biases[node]
+			if first {
+				lo, hi, first = b, b, false
+				continue
+			}
+			if b < lo {
+				lo = b
+			}
+			if b > hi {
+				hi = b
+			}
+		}
+		if len(members) < s.N-s.F {
+			continue // adversary transition window; Claim 8 handles it with G_i bookkeeping
+		}
+		env := analysis.NewEnvelope(firstSample.At, lo, hi, s.Rho).Extend(margin)
+		intervals++
+		for _, idx := range inWindow {
+			smp := samples[idx]
+			for _, node := range members {
+				if !env.Contains(smp.At, smp.Biases[node]) {
+					elo, ehi := env.At(smp.At)
+					t.Fatalf("interval at %v: node %d bias %v escaped envelope [%v, %v] at %v",
+						start, node, smp.Biases[node], elo, ehi, smp.At)
+				}
+			}
+		}
+	}
+	if intervals < 20 {
+		t.Fatalf("only %d intervals validated — test harness broken", intervals)
+	}
+}
+
+// TestEnvelopeContractionFromSpread validates the Lemma 7(ii) shape: a good
+// set whose biases start spread out contracts per interval until it reaches
+// the reading-error floor, and never widens far beyond the floor again.
+func TestEnvelopeContractionFromSpread(t *testing.T) {
+	s := Scenario{
+		Name:       "contraction",
+		Seed:       23,
+		N:          7,
+		F:          2,
+		Duration:   10 * simtime.Minute,
+		Theta:      4 * simtime.Minute,
+		Rho:        1e-4,
+		InitSpread: 600 * simtime.Millisecond,
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := res.Recorder.Samples()
+	tT := float64(res.Bounds.T)
+	floor := 4 * float64(res.Bounds.Eps)
+
+	var widths []float64
+	for start := 0.0; start+tT <= float64(s.Duration); start += tT {
+		for _, smp := range samples {
+			if float64(smp.At) >= start {
+				widths = append(widths, float64(smp.Deviation))
+				break
+			}
+		}
+	}
+	if len(widths) < 10 {
+		t.Fatalf("too few intervals: %d", len(widths))
+	}
+	// Above the floor the spread must not grow from one interval to the
+	// next (beyond measurement jitter), and it must reach the floor.
+	reachedFloor := false
+	for i := 1; i < len(widths); i++ {
+		if widths[i-1] > floor && widths[i] > widths[i-1]*1.1+0.001 {
+			t.Fatalf("interval %d: spread grew %v → %v while above the floor",
+				i, widths[i-1], widths[i])
+		}
+		if widths[i] <= floor {
+			reachedFloor = true
+		}
+	}
+	if !reachedFloor {
+		t.Fatalf("spread never reached the 4ε floor %v: %v", floor, widths)
+	}
+}

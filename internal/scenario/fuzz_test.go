@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/network"
+	"clocksync/internal/protocol"
+	"clocksync/internal/simtime"
+)
+
+// TestRandomInModelScenariosHoldTheorem5 fuzzes the whole stack: random
+// cluster sizes, fault budgets, drift rates, delay bounds and f-limited
+// rotating adversaries — every in-model run must satisfy the Theorem 5
+// deviation bound, recover every released processor within Θ, and keep
+// good-processor discontinuities under ψ.
+func TestRandomInModelScenariosHoldTheorem5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz loop simulates dozens of cluster-hours")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(13)
+		f := 1
+		if max := (n - 1) / 3; max > 1 {
+			f = 1 + rng.Intn(max)
+		}
+		delta := []simtime.Duration{5 * simtime.Millisecond, 20 * simtime.Millisecond,
+			50 * simtime.Millisecond, 100 * simtime.Millisecond}[rng.Intn(4)]
+		rho := []float64{0, 1e-6, 1e-4, 5e-4}[rng.Intn(4)]
+		syncInt := simtime.Duration(5+rng.Intn(15)) * simtime.Second
+		theta := 4 * simtime.Minute
+
+		s := Scenario{
+			Name:       "fuzz",
+			Seed:       int64(trial),
+			N:          n,
+			F:          f,
+			Duration:   30 * simtime.Minute,
+			Theta:      theta,
+			Rho:        rho,
+			Delay:      network.NewUniformDelay(delta/10, delta),
+			SyncInt:    syncInt,
+			InitSpread: simtime.Duration(rng.Float64()) * 200 * simtime.Millisecond,
+		}
+		// A random but always-f-limited adversary, finishing Θ before the
+		// end so every recovery is measurable.
+		if rng.Intn(4) > 0 {
+			dwell := simtime.Duration(10+rng.Intn(40)) * simtime.Second
+			step := simtime.Duration(float64(theta+dwell)/float64(f)) + simtime.Millisecond
+			events := int(float64(s.Duration-4*theta) / float64(step))
+			if events > 0 {
+				s.Adversary = adversary.Rotate(n, f, simtime.Time(2*theta), dwell, theta, events,
+					func(node int) protocol.Behavior {
+						switch node % 3 {
+						case 0:
+							return adversary.ClockSmash{Offset: simtime.Duration(rng.Float64()*100 - 50)}
+						case 1:
+							return adversary.Crash{}
+						default:
+							return adversary.RandomLiar{Amplitude: simtime.Duration(rng.Float64() * 1000)}
+						}
+					})
+			}
+		}
+
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d f=%d): %v", trial, n, f, err)
+		}
+		if res.Report.MaxDeviation > res.Bounds.MaxDeviation {
+			t.Errorf("trial %d (n=%d f=%d ρ=%g δ=%v): deviation %v > bound %v",
+				trial, n, f, rho, delta, res.Report.MaxDeviation, res.Bounds.MaxDeviation)
+		}
+		// Per-step adjustments of good, warmed-up processors are bounded by
+		// Δ/2 + ε (half the deviation envelope plus one reading error).
+		if res.Report.MaxDiscontinuity > res.Bounds.MaxStep {
+			t.Errorf("trial %d: single adjustment %v > per-step bound %v",
+				trial, res.Report.MaxDiscontinuity, res.Bounds.MaxStep)
+		}
+		// Net departure from the rate envelope (Equation 3 drawdown/runup)
+		// is bounded by the deviation envelope itself: a clock can wander at
+		// most across the good pack. (The literal ψ = ε + C/2 reading of the
+		// OCR'd abstract is tighter than a random walk within the pack
+		// allows; see DESIGN.md.)
+		if res.Report.AccuracyDrawdown > res.Bounds.MaxDeviation {
+			t.Errorf("trial %d: accuracy drawdown %v > Δ %v",
+				trial, res.Report.AccuracyDrawdown, res.Bounds.MaxDeviation)
+		}
+		if res.Report.AccuracyRunup > res.Bounds.MaxDeviation {
+			t.Errorf("trial %d: accuracy runup %v > Δ %v",
+				trial, res.Report.AccuracyRunup, res.Bounds.MaxDeviation)
+		}
+		for _, rv := range res.Report.Recoveries {
+			if !rv.Ok {
+				t.Errorf("trial %d: node %d released at %v never recovered",
+					trial, rv.Node, rv.ReleasedAt)
+			} else if rv.Time() > s.Theta {
+				t.Errorf("trial %d: node %d recovery took %v > Θ", trial, rv.Node, rv.Time())
+			}
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package scenario declaratively describes and runs whole simulations: n
+// drifting clocks, a delay-bounded authenticated network, a protocol on
+// every node, an f-limited mobile adversary, and a metrics recorder. It is
+// the engine under every experiment, example and benchmark in this
+// repository.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/analysis"
+	"clocksync/internal/clock"
+	"clocksync/internal/core"
+	"clocksync/internal/des"
+	"clocksync/internal/metrics"
+	"clocksync/internal/network"
+	"clocksync/internal/protocol"
+	"clocksync/internal/simtime"
+	"clocksync/internal/trace"
+)
+
+// Starter is a protocol node ready to be started. The core Sync node and
+// every baseline implement it.
+type Starter interface {
+	Start()
+}
+
+// BuildContext is what a Builder gets for one processor.
+type BuildContext struct {
+	Harness  *protocol.Harness
+	Peers    []int // topology neighbors of this processor
+	Index    int
+	Scenario *Scenario
+	Bounds   analysis.Bounds
+	Rand     *rand.Rand
+}
+
+// Builder constructs the protocol node for one processor. Scenarios default
+// to the paper's Sync protocol; baselines provide their own Builders.
+type Builder func(BuildContext) Starter
+
+// Scenario is a complete experiment description.
+type Scenario struct {
+	Name string
+	Seed int64
+
+	N int // processors
+	F int // per-period fault budget
+
+	Duration simtime.Duration // simulated real time
+	Theta    simtime.Duration // adversary period Θ
+	Rho      float64          // hardware drift bound ρ
+
+	// Delay is the network latency model; nil defaults to uniform
+	// [δ/10, δ] with δ = 50 ms.
+	Delay network.DelayModel
+	// Topology defaults to a full mesh on N.
+	Topology network.Topology
+	// DropProb injects message loss beyond the paper's model.
+	DropProb float64
+
+	// SyncInt, MaxWait and WayOff override the derived protocol parameters
+	// when non-zero.
+	SyncInt simtime.Duration
+	MaxWait simtime.Duration
+	WayOff  simtime.Duration
+
+	// InitSpread scatters initial biases uniformly over
+	// [−InitSpread/2, +InitSpread/2]; InitialBiases (if non-nil) pins them
+	// exactly.
+	InitSpread    simtime.Duration
+	InitialBiases []simtime.Duration
+	// Slopes pins hardware clock rates; nil draws them uniformly from the
+	// Equation 2 envelope for ρ.
+	Slopes []float64
+	// Tick, when positive, quantizes every hardware clock's readings to
+	// that granularity (real counters tick). It adds up to one Tick of
+	// reading error on top of the network-induced ε; keep it well below δ
+	// when comparing against the Theorem 5 bounds.
+	Tick simtime.Duration
+
+	// Adversary is the corruption schedule; it is validated against (F, Θ)
+	// unless UnsafeAdversary is set (experiment E6 deliberately runs
+	// over-powered adversaries).
+	Adversary       adversary.Schedule
+	UnsafeAdversary bool
+
+	// Builder constructs each node; nil means the paper's Sync protocol.
+	Builder Builder
+
+	// SamplePeriod for metrics; defaults to 1 s.
+	SamplePeriod simtime.Duration
+	// SkipValidation disables the Theorem 5 parameter validation (for
+	// deliberately out-of-model runs).
+	SkipValidation bool
+	// TraceWriter, when non-nil, receives a JSON-lines trace of the run
+	// (adjustments, corruptions, releases, samples).
+	TraceWriter io.Writer
+}
+
+// Result is what a run produces.
+type Result struct {
+	Scenario *Scenario
+	Bounds   analysis.Bounds
+	Recorder *metrics.Recorder
+	Report   metrics.Report
+	// MsgsSent and BytesSent total the network traffic of the run.
+	MsgsSent  int
+	BytesSent int
+	// SyncStats holds per-node protocol counters when the run used the
+	// default Sync builder (nil entries otherwise).
+	SyncStats []*core.Stats
+	// Sim is the simulator after the run (for follow-up measurement).
+	Sim *des.Sim
+}
+
+// Params assembles the analysis parameters for the scenario, applying
+// defaults.
+func (s *Scenario) Params() analysis.Params {
+	delay := s.Delay
+	if delay == nil {
+		delay = network.NewUniformDelay(5*simtime.Millisecond, 50*simtime.Millisecond)
+	}
+	delta := delay.Bound()
+	maxWait := s.MaxWait
+	if maxWait == 0 {
+		maxWait = 2 * delta
+	}
+	syncInt := s.SyncInt
+	if syncInt == 0 {
+		syncInt = 10 * simtime.Second
+	}
+	theta := s.Theta
+	if theta == 0 {
+		theta = 30 * simtime.Minute
+	}
+	return analysis.Params{
+		N:       s.N,
+		F:       s.F,
+		Rho:     s.Rho,
+		Delta:   delta,
+		Theta:   theta,
+		SyncInt: syncInt,
+		MaxWait: maxWait,
+	}
+}
+
+// Run executes the scenario and returns its result.
+func Run(s Scenario) (*Result, error) {
+	if s.N < 1 {
+		return nil, fmt.Errorf("scenario %q: need at least one processor", s.Name)
+	}
+	if s.Duration <= 0 {
+		return nil, fmt.Errorf("scenario %q: non-positive duration", s.Name)
+	}
+	params := s.Params()
+	s.Theta = params.Theta
+	s.MaxWait = params.MaxWait
+	s.SyncInt = params.SyncInt
+	if s.Delay == nil {
+		s.Delay = network.NewUniformDelay(5*simtime.Millisecond, 50*simtime.Millisecond)
+	}
+	if s.Topology == nil {
+		s.Topology = network.NewFullMesh(s.N)
+	}
+	if s.Topology.N() != s.N {
+		return nil, fmt.Errorf("scenario %q: topology size %d != N %d", s.Name, s.Topology.N(), s.N)
+	}
+	if s.SamplePeriod == 0 {
+		s.SamplePeriod = simtime.Second
+	}
+
+	var bounds analysis.Bounds
+	if s.SkipValidation {
+		// Out-of-model run: derive what is derivable without enforcing the
+		// theorem's preconditions.
+		bounds = analysis.Bounds{Eps: params.Eps(), T: params.T(), K: params.K(), C: params.C()}
+		bounds.MaxDeviation = 16*bounds.Eps + simtime.Duration(18*params.Rho*float64(bounds.T)) + 4*bounds.C
+		bounds.MaxStep = bounds.MaxDeviation/2 + bounds.Eps
+		bounds.WayOff = bounds.MaxDeviation + bounds.Eps
+	} else {
+		b, err := analysis.Derive(params)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		bounds = b
+	}
+	if s.WayOff == 0 {
+		s.WayOff = bounds.WayOff
+	}
+
+	if !s.UnsafeAdversary {
+		if err := s.Adversary.Validate(s.N, s.F, s.Theta); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+
+	sim := des.New(s.Seed)
+	net := network.New(sim, s.Topology, s.Delay)
+	net.DropProb = s.DropProb
+	rng := sim.Rand()
+
+	clocks := make([]*clock.Local, s.N)
+	harnesses := make([]*protocol.Harness, s.N)
+	loSlope, hiSlope := clock.SlopeBounds(s.Rho)
+	for i := 0; i < s.N; i++ {
+		slope := 1.0
+		switch {
+		case i < len(s.Slopes):
+			slope = s.Slopes[i]
+		case s.Rho > 0:
+			slope = loSlope + rng.Float64()*(hiSlope-loSlope)
+		}
+		var bias simtime.Duration
+		switch {
+		case i < len(s.InitialBiases):
+			bias = s.InitialBiases[i]
+		case s.InitSpread > 0:
+			bias = simtime.Duration((rng.Float64() - 0.5) * float64(s.InitSpread))
+		}
+		var hw clock.Hardware = clock.NewDrifting(0, simtime.Time(bias), slope)
+		if s.Tick > 0 {
+			hw = clock.NewQuantized(hw, s.Tick)
+		}
+		clocks[i] = clock.NewLocal(hw)
+		harnesses[i] = protocol.NewHarness(i, sim, net, clocks[i])
+	}
+
+	rec := metrics.NewRecorder(sim, clocks, s.Adversary, s.Theta)
+	// Sample at adjustment instants too: discontinuous bias changes happen
+	// exactly there, so periodic sampling alone could under-report the
+	// worst-case deviation the bounds are checked against.
+	rec.SampleOnAdjust(true)
+	res := &Result{Scenario: &s, Bounds: bounds, Recorder: rec, Sim: sim,
+		SyncStats: make([]*core.Stats, s.N)}
+
+	builder := s.Builder
+	if builder == nil {
+		builder = defaultBuilder
+	}
+	var tracer *trace.Tracer
+	if s.TraceWriter != nil {
+		tracer = trace.New(s.TraceWriter)
+	}
+
+	syncNodes := make([]*core.Node, s.N)
+	for i := 0; i < s.N; i++ {
+		recHook := rec.AdjustHook(i)
+		if tracer != nil {
+			i := i
+			harnesses[i].OnAdjust = func(at simtime.Time, delta simtime.Duration) {
+				recHook(at, delta)
+				tracer.Adjust(at, i, delta)
+			}
+		} else {
+			harnesses[i].OnAdjust = recHook
+		}
+		node := builder(BuildContext{
+			Harness:  harnesses[i],
+			Peers:    s.Topology.Neighbors(i),
+			Index:    i,
+			Scenario: &s,
+			Bounds:   bounds,
+			Rand:     rng,
+		})
+		if sn, ok := node.(*core.Node); ok {
+			syncNodes[i] = sn
+		}
+		node.Start()
+	}
+
+	s.Adversary.Apply(sim, harnesses)
+	rec.Start(s.SamplePeriod)
+	sim.RunUntil(simtime.Time(s.Duration))
+
+	for i, sn := range syncNodes {
+		if sn != nil {
+			st := sn.Stats()
+			res.SyncStats[i] = &st
+		}
+	}
+
+	res.MsgsSent = net.TotalSent()
+	res.BytesSent = net.TotalBytes()
+	if tracer != nil {
+		for _, c := range s.Adversary.Corruptions {
+			tracer.Corrupt(c.From, c.Node)
+			tracer.Release(c.To, c.Node)
+		}
+		for _, sample := range rec.Samples() {
+			tracer.Sample(sample.At, sample.Biases, sample.Deviation)
+		}
+		if err := tracer.Flush(); err != nil {
+			return nil, fmt.Errorf("scenario %q: writing trace: %w", s.Name, err)
+		}
+	}
+	// Warm-up: the guarantees assume a synchronized start; with a scattered
+	// InitSpread the cluster needs ~log2(spread/ε) Syncs to converge before
+	// steady-state statistics are meaningful.
+	warmSyncs := 3.0
+	if s.InitSpread > bounds.Eps && bounds.Eps > 0 {
+		warmSyncs += math.Ceil(math.Log2(float64(s.InitSpread) / float64(bounds.Eps)))
+	}
+	res.Report = rec.BuildReport(metrics.ReportOptions{
+		SkipBefore:        simtime.Time(warmSyncs * float64(s.SyncInt)),
+		RecoveryMargin:    bounds.MaxDeviation,
+		MinRateWindow:     simtime.MaxDuration(10*s.SyncInt, simtime.Duration(float64(s.Duration)/10)),
+		LogicalDriftBound: bounds.LogicalDrift,
+	})
+	return res, nil
+}
+
+// defaultBuilder instantiates the paper's Sync protocol with the derived
+// parameters, staggering first executions uniformly across SyncInt.
+func defaultBuilder(ctx BuildContext) Starter {
+	sc := ctx.Scenario
+	return core.New(ctx.Harness, core.Config{
+		F:         sc.F,
+		SyncInt:   sc.SyncInt,
+		MaxWait:   sc.MaxWait,
+		WayOff:    sc.WayOff,
+		FirstSync: simtime.Duration(ctx.Rand.Float64() * float64(sc.SyncInt)),
+	}, ctx.Peers)
+}
+
+// SyncBuilder returns the default Sync builder with an explicit config
+// override hook, used by ablation experiments (E11).
+func SyncBuilder(mutate func(*core.Config, BuildContext)) Builder {
+	return func(ctx BuildContext) Starter {
+		sc := ctx.Scenario
+		cfg := core.Config{
+			F:         sc.F,
+			SyncInt:   sc.SyncInt,
+			MaxWait:   sc.MaxWait,
+			WayOff:    sc.WayOff,
+			FirstSync: simtime.Duration(ctx.Rand.Float64() * float64(sc.SyncInt)),
+		}
+		if mutate != nil {
+			mutate(&cfg, ctx)
+		}
+		return core.New(ctx.Harness, cfg, ctx.Peers)
+	}
+}

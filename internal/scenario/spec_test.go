@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"clocksync/internal/simtime"
+)
+
+func TestLoadSpecAndBuildRoundTrip(t *testing.T) {
+	src := `{
+		"name": "from-json",
+		"seed": 9,
+		"n": 7, "f": 2,
+		"duration_sec": 600,
+		"theta_sec": 300,
+		"rho": 1e-4,
+		"delay": {"kind": "uniform", "min_sec": 0.005, "max_sec": 0.05},
+		"topology": {"kind": "full"},
+		"init_spread_sec": 0.2,
+		"adversary": [
+			{"node": 6, "from_sec": 60, "to_sec": 61,
+			 "behavior": {"kind": "smash", "offset_sec": 30, "quiet": true}}
+		],
+		"sample_period_sec": 5
+	}`
+	sp, err := LoadSpec(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sp.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "from-json" || s.N != 7 || s.F != 2 {
+		t.Fatalf("basic fields: %+v", s)
+	}
+	if s.Duration != 600 || s.Theta != 300 {
+		t.Fatalf("durations: %v %v", s.Duration, s.Theta)
+	}
+	if len(s.Adversary.Corruptions) != 1 || s.Adversary.Corruptions[0].Node != 6 {
+		t.Fatalf("adversary: %+v", s.Adversary)
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Recoveries) != 1 || !res.Report.Recoveries[0].Ok {
+		t.Fatalf("smashed node did not recover: %+v", res.Report.Recoveries)
+	}
+}
+
+func TestLoadSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := LoadSpec(strings.NewReader(`{"n": 4, "not_a_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadSpecRejectsGarbage(t *testing.T) {
+	if _, err := LoadSpec(strings.NewReader(`{`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDelaySpecVariants(t *testing.T) {
+	cases := []struct {
+		spec DelaySpec
+		want simtime.Duration // Bound()
+	}{
+		{DelaySpec{Kind: "constant", D: 0.01}, simtime.Duration(0.01)},
+		{DelaySpec{Kind: "uniform", Min: 0.001, Max: 0.02}, simtime.Duration(0.02)},
+		{DelaySpec{Kind: "asymmetric", FwdMin: 0.01, FwdMax: 0.03, RevMin: 0.001, RevMax: 0.002}, simtime.Duration(0.03)},
+		{DelaySpec{Kind: "spiky", Min: 0.001, Max: 0.01, SpikeProb: 0.1, SpikeMax: 0.05}, simtime.Duration(0.06)},
+	}
+	for _, tc := range cases {
+		m, err := tc.spec.Model()
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.spec, err)
+		}
+		got := float64(m.Bound())
+		if diff := got - float64(tc.want); diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("%+v: bound %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+	bad := []DelaySpec{
+		{Kind: "warp"},
+		{Kind: "constant", D: 0},
+		{Kind: "uniform", Min: 0.5, Max: 0.1},
+	}
+	for _, spec := range bad {
+		if _, err := spec.Model(); err == nil {
+			t.Fatalf("%+v accepted", spec)
+		}
+	}
+}
+
+func TestTopoSpecVariants(t *testing.T) {
+	full, err := (&TopoSpec{Kind: "full"}).Build(5)
+	if err != nil || full.N() != 5 {
+		t.Fatalf("full: %v %v", full, err)
+	}
+	ring, err := (&TopoSpec{Kind: "ring"}).Build(5)
+	if err != nil || len(ring.Neighbors(0)) != 2 {
+		t.Fatalf("ring: %v", err)
+	}
+	circ, err := (&TopoSpec{Kind: "circulant", Degree: 4}).Build(9)
+	if err != nil || len(circ.Neighbors(0)) != 4 {
+		t.Fatalf("circulant: %v", err)
+	}
+	tc, err := (&TopoSpec{Kind: "twocliques", F: 1}).Build(8)
+	if err != nil || tc.N() != 8 {
+		t.Fatalf("twocliques: %v", err)
+	}
+	bad := []struct {
+		spec TopoSpec
+		n    int
+	}{
+		{TopoSpec{Kind: "hypercube"}, 8},
+		{TopoSpec{Kind: "circulant", Degree: 3}, 8},
+		{TopoSpec{Kind: "twocliques", F: 1}, 9}, // size mismatch
+		{TopoSpec{Kind: "twocliques"}, 8},
+	}
+	for _, b := range bad {
+		if _, err := b.spec.Build(b.n); err == nil {
+			t.Fatalf("%+v accepted", b.spec)
+		}
+	}
+}
+
+func TestBehaviorSpecVariants(t *testing.T) {
+	kinds := []string{"crash", "smash", "randomliar", "consistentliar", "splitbrain", "honest"}
+	for _, k := range kinds {
+		if _, err := (&BehaviorSpec{Kind: k}).Build(); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+	}
+	if _, err := (&BehaviorSpec{Kind: "gremlin"}).Build(); err == nil {
+		t.Fatal("unknown behavior accepted")
+	}
+}
+
+func TestSpecUnknownProtocol(t *testing.T) {
+	sp := Spec{N: 4, F: 1, DurationSec: 60, Protocol: "quantum"}
+	if _, err := sp.Build(nil); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	// With a registry entry it resolves, and the registered builder is used.
+	called := 0
+	reg := Registry{"quantum": func(ctx BuildContext) Starter {
+		called++
+		return SyncBuilder(nil)(ctx)
+	}}
+	sp.ThetaSec = 300
+	sp.Rho = 1e-4
+	s, err := sp.Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if called != sp.N {
+		t.Fatalf("registered builder called %d times, want %d", called, sp.N)
+	}
+}
+
+func TestSpecTopologyDelayErrorsPropagate(t *testing.T) {
+	sp := Spec{N: 4, F: 1, DurationSec: 60,
+		Delay: &DelaySpec{Kind: "nope"}}
+	if _, err := sp.Build(nil); err == nil {
+		t.Fatal("bad delay accepted")
+	}
+	sp = Spec{N: 4, F: 1, DurationSec: 60,
+		Topology: &TopoSpec{Kind: "nope"}}
+	if _, err := sp.Build(nil); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	sp = Spec{N: 4, F: 1, DurationSec: 60,
+		Adversary: []CorruptionSpec{{Behavior: BehaviorSpec{Kind: "nope"}}}}
+	if _, err := sp.Build(nil); err == nil {
+		t.Fatal("bad behavior accepted")
+	}
+}

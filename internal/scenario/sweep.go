@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sweep runs independently-built scenarios, one per seed, concurrently, and
+// returns the results in seed order. Simulations are single-threaded and
+// fully independent, so a sweep parallelizes perfectly across cores;
+// experiments use it to report worst-over-seeds numbers instead of one
+// lucky run.
+//
+// mk must build a fresh Scenario per call: scenarios can carry stateful
+// values (adversary behaviors with internal state, closure-based delay
+// models), and sharing those across concurrent runs would race.
+func Sweep(mk func(seed int64) Scenario, seeds []int64) ([]*Result, error) {
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := mk(seed)
+			s.Seed = seed
+			if s.Name != "" {
+				s.Name = fmt.Sprintf("%s/seed%d", s.Name, seed)
+			}
+			results[i], errs[i] = Run(s)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// WorstDeviation returns the result with the largest measured deviation —
+// the conservative representative of a sweep.
+func WorstDeviation(results []*Result) *Result {
+	var worst *Result
+	for _, r := range results {
+		if worst == nil || r.Report.MaxDeviation > worst.Report.MaxDeviation {
+			worst = r
+		}
+	}
+	return worst
+}

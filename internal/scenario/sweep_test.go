@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"testing"
+
+	"clocksync/internal/simtime"
+)
+
+func TestSweepRunsAllSeedsConcurrently(t *testing.T) {
+	mk := func(int64) Scenario {
+		s := baseScenario()
+		s.Duration = 3 * simtime.Minute
+		return s
+	}
+	seeds := []int64{1, 2, 3, 4}
+	results, err := Sweep(mk, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	distinct := map[simtime.Duration]bool{}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("result %d missing", i)
+		}
+		if r.Scenario.Seed != seeds[i] {
+			t.Fatalf("result %d has seed %d", i, r.Scenario.Seed)
+		}
+		distinct[r.Report.MaxDeviation] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("all seeds produced identical deviations — seeds not applied")
+	}
+	worst := WorstDeviation(results)
+	for _, r := range results {
+		if r.Report.MaxDeviation > worst.Report.MaxDeviation {
+			t.Fatal("WorstDeviation did not pick the maximum")
+		}
+	}
+}
+
+func TestSweepMatchesSequentialRuns(t *testing.T) {
+	// Concurrency must not change results: each seed's sweep result equals
+	// the same scenario run sequentially.
+	mk := func(int64) Scenario {
+		s := baseScenario()
+		s.Duration = 2 * simtime.Minute
+		return s
+	}
+	results, err := Sweep(mk, []int64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range []int64{5, 6} {
+		s := mk(seed)
+		s.Seed = seed
+		seq, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Report.MaxDeviation != results[i].Report.MaxDeviation ||
+			seq.MsgsSent != results[i].MsgsSent {
+			t.Fatalf("seed %d: sweep and sequential runs differ", seed)
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	mk := func(seed int64) Scenario {
+		s := baseScenario()
+		if seed == 2 {
+			s.N = 0 // invalid
+		}
+		return s
+	}
+	if _, err := Sweep(mk, []int64{1, 2}); err == nil {
+		t.Fatal("sweep swallowed an error")
+	}
+}

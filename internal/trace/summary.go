@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clocksync/internal/stats"
+)
+
+// Summary condenses a recorded trace: per-node adjustment behaviour, the
+// corruption timeline, and the deviation profile.
+type Summary struct {
+	Events      int
+	Nodes       int
+	Span        float64 // last event time − first event time
+	Adjusts     int
+	AdjustAbs   stats.Summary // |adjustment| distribution
+	PerNode     []NodeSummary
+	Corruptions []CorruptionSpan
+	Deviation   stats.Summary // good-set deviation over samples
+	Samples     int
+}
+
+// NodeSummary is one processor's view of the trace.
+type NodeSummary struct {
+	Node       int
+	Adjusts    int
+	MaxAdjust  float64
+	Corrupted  int     // number of break-ins
+	TimeFaulty float64 // total seconds under adversary control
+}
+
+// CorruptionSpan is one break-in reconstructed from corrupt/release pairs.
+type CorruptionSpan struct {
+	Node     int
+	From, To float64
+	Open     bool // release never recorded
+}
+
+// Summarize analyzes a parsed trace.
+func Summarize(events []Event) Summary {
+	s := Summary{Events: len(events)}
+	if len(events) == 0 {
+		return s
+	}
+	minAt, maxAt := events[0].At, events[0].At
+	maxNode := -1
+	var adjustAbs []float64
+	var deviations []float64
+	perNode := map[int]*NodeSummary{}
+	openCorruption := map[int]float64{}
+	nodeOf := func(id int) *NodeSummary {
+		ns := perNode[id]
+		if ns == nil {
+			ns = &NodeSummary{Node: id}
+			perNode[id] = ns
+		}
+		return ns
+	}
+	for _, e := range events {
+		if e.At < minAt {
+			minAt = e.At
+		}
+		if e.At > maxAt {
+			maxAt = e.At
+		}
+		switch e.Kind {
+		case KindAdjust:
+			s.Adjusts++
+			a := e.Delta
+			if a < 0 {
+				a = -a
+			}
+			adjustAbs = append(adjustAbs, a)
+			ns := nodeOf(e.Node)
+			ns.Adjusts++
+			if a > ns.MaxAdjust {
+				ns.MaxAdjust = a
+			}
+			if e.Node > maxNode {
+				maxNode = e.Node
+			}
+		case KindCorrupt:
+			openCorruption[e.Node] = e.At
+			nodeOf(e.Node).Corrupted++
+			if e.Node > maxNode {
+				maxNode = e.Node
+			}
+		case KindRelease:
+			from, ok := openCorruption[e.Node]
+			if !ok {
+				continue
+			}
+			delete(openCorruption, e.Node)
+			s.Corruptions = append(s.Corruptions, CorruptionSpan{Node: e.Node, From: from, To: e.At})
+			nodeOf(e.Node).TimeFaulty += e.At - from
+		case KindSample:
+			s.Samples++
+			deviations = append(deviations, e.Deviation)
+			if n := len(e.Biases) - 1; n > maxNode {
+				maxNode = n
+			}
+		}
+	}
+	for node, from := range openCorruption {
+		s.Corruptions = append(s.Corruptions, CorruptionSpan{Node: node, From: from, To: maxAt, Open: true})
+		nodeOf(node).TimeFaulty += maxAt - from
+	}
+	sort.Slice(s.Corruptions, func(i, j int) bool {
+		if s.Corruptions[i].From != s.Corruptions[j].From {
+			return s.Corruptions[i].From < s.Corruptions[j].From
+		}
+		return s.Corruptions[i].Node < s.Corruptions[j].Node
+	})
+	s.Span = maxAt - minAt
+	s.Nodes = maxNode + 1
+	s.AdjustAbs = stats.Summarize(adjustAbs)
+	s.Deviation = stats.Summarize(deviations)
+	for id := 0; id <= maxNode; id++ {
+		if ns := perNode[id]; ns != nil {
+			s.PerNode = append(s.PerNode, *ns)
+		} else {
+			s.PerNode = append(s.PerNode, NodeSummary{Node: id})
+		}
+	}
+	return s
+}
+
+// String renders a human-readable report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events over %.1fs, %d nodes\n", s.Events, s.Span, s.Nodes)
+	fmt.Fprintf(&b, "adjustments: %d total, |Δ| mean %.4gs p99 %.4gs max %.4gs\n",
+		s.Adjusts, s.AdjustAbs.Mean, s.AdjustAbs.P99, s.AdjustAbs.Max)
+	if s.Samples > 0 {
+		fmt.Fprintf(&b, "deviation: %d samples, mean %.4gs p99 %.4gs max %.4gs\n",
+			s.Samples, s.Deviation.Mean, s.Deviation.P99, s.Deviation.Max)
+	}
+	if len(s.Corruptions) > 0 {
+		fmt.Fprintf(&b, "corruptions: %d\n", len(s.Corruptions))
+		for _, c := range s.Corruptions {
+			open := ""
+			if c.Open {
+				open = " (never released)"
+			}
+			fmt.Fprintf(&b, "  node %2d  [%.1fs, %.1fs)%s\n", c.Node, c.From, c.To, open)
+		}
+	}
+	fmt.Fprintf(&b, "per node:\n")
+	for _, ns := range s.PerNode {
+		fmt.Fprintf(&b, "  node %2d  %4d adjusts, max |Δ| %.4gs, %d break-ins, %.1fs faulty\n",
+			ns.Node, ns.Adjusts, ns.MaxAdjust, ns.Corrupted, ns.TimeFaulty)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+// Package trace records simulation runs as a stream of JSON-lines events —
+// one object per line — so that a run can be archived, diffed across seeds,
+// or replayed into external tooling. The scenario engine emits adjustment,
+// corruption, release and sample events when given a writer.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"clocksync/internal/simtime"
+)
+
+// Kind enumerates event types.
+type Kind string
+
+// Event kinds.
+const (
+	KindAdjust  Kind = "adjust"
+	KindCorrupt Kind = "corrupt"
+	KindRelease Kind = "release"
+	KindSample  Kind = "sample"
+	KindNote    Kind = "note"
+)
+
+// Event is one trace record. Fields are used according to Kind:
+// Adjust uses Node and Delta; Corrupt/Release use Node; Sample uses Biases
+// and Deviation; Note uses Text.
+type Event struct {
+	At        float64   `json:"at"`
+	Kind      Kind      `json:"kind"`
+	Node      int       `json:"node,omitempty"`
+	Delta     float64   `json:"delta,omitempty"`
+	Biases    []float64 `json:"biases,omitempty"`
+	Deviation float64   `json:"deviation,omitempty"`
+	Text      string    `json:"text,omitempty"`
+}
+
+// Tracer serializes events to a writer. It buffers internally; call Flush
+// (or Close) when the run finishes.
+type Tracer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// New returns a tracer writing JSON lines to w.
+func New(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit appends one event.
+func (t *Tracer) Emit(e Event) {
+	if err := t.enc.Encode(e); err != nil {
+		// A tracer failure must not corrupt a simulation; it only loses the
+		// trace. Record the failure in-band if possible.
+		fmt.Fprintf(t.w, `{"kind":"note","text":"trace encode error: %v"}`+"\n", err)
+	}
+	t.n++
+}
+
+// Adjust records a clock adjustment.
+func (t *Tracer) Adjust(at simtime.Time, node int, delta simtime.Duration) {
+	t.Emit(Event{At: float64(at), Kind: KindAdjust, Node: node, Delta: float64(delta)})
+}
+
+// Corrupt records a break-in.
+func (t *Tracer) Corrupt(at simtime.Time, node int) {
+	t.Emit(Event{At: float64(at), Kind: KindCorrupt, Node: node})
+}
+
+// Release records the adversary leaving a node.
+func (t *Tracer) Release(at simtime.Time, node int) {
+	t.Emit(Event{At: float64(at), Kind: KindRelease, Node: node})
+}
+
+// Sample records a metrics sample.
+func (t *Tracer) Sample(at simtime.Time, biases []simtime.Duration, deviation simtime.Duration) {
+	bs := make([]float64, len(biases))
+	for i, b := range biases {
+		bs[i] = float64(b)
+	}
+	t.Emit(Event{At: float64(at), Kind: KindSample, Biases: bs, Deviation: float64(deviation)})
+}
+
+// Note records free-form text.
+func (t *Tracer) Note(at simtime.Time, text string) {
+	t.Emit(Event{At: float64(at), Kind: KindNote, Text: text})
+}
+
+// Count returns the number of events emitted.
+func (t *Tracer) Count() int { return t.n }
+
+// Flush drains the internal buffer.
+func (t *Tracer) Flush() error { return t.w.Flush() }
+
+// Read parses a JSON-lines trace back into events.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+	"clocksync/internal/trace"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := trace.New(&buf)
+	tr.Adjust(1.5, 2, -0.25)
+	tr.Corrupt(2, 3)
+	tr.Release(5, 3)
+	tr.Sample(6, []simtime.Duration{0.1, -0.1}, 0.2)
+	tr.Note(7, "hello")
+	if tr.Count() != 5 {
+		t.Fatalf("Count: got %d", tr.Count())
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("read %d events", len(events))
+	}
+	if events[0].Kind != trace.KindAdjust || events[0].Node != 2 || events[0].Delta != -0.25 {
+		t.Fatalf("adjust event: %+v", events[0])
+	}
+	if events[1].Kind != trace.KindCorrupt || events[2].Kind != trace.KindRelease {
+		t.Fatal("corrupt/release kinds wrong")
+	}
+	if events[3].Kind != trace.KindSample || len(events[3].Biases) != 2 || events[3].Deviation != 0.2 {
+		t.Fatalf("sample event: %+v", events[3])
+	}
+	if events[4].Text != "hello" {
+		t.Fatalf("note event: %+v", events[4])
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := trace.Read(strings.NewReader("{\"kind\":\"note\"}\nnot json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	events, err := trace.Read(strings.NewReader("\n{\"kind\":\"note\",\"text\":\"x\"}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events", len(events))
+	}
+}
+
+func TestScenarioEmitsTrace(t *testing.T) {
+	var buf bytes.Buffer
+	s := scenario.Scenario{
+		Name:         "trace-test",
+		Seed:         3,
+		N:            4,
+		F:            1,
+		Duration:     2 * simtime.Minute,
+		Theta:        100 * simtime.Second,
+		Rho:          1e-4,
+		InitSpread:   50 * simtime.Millisecond,
+		SamplePeriod: 10 * simtime.Second,
+		TraceWriter:  &buf,
+	}
+	if _, err := scenario.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adjusts, samples int
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindAdjust:
+			adjusts++
+		case trace.KindSample:
+			samples++
+			if len(e.Biases) != 4 {
+				t.Fatalf("sample with %d biases", len(e.Biases))
+			}
+		}
+	}
+	if adjusts == 0 || samples == 0 {
+		t.Fatalf("trace missing events: %d adjusts, %d samples", adjusts, samples)
+	}
+}
