@@ -1,0 +1,85 @@
+package clocksync_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clocksync"
+)
+
+func smallScenario() clocksync.Scenario {
+	return clocksync.Scenario{
+		Name:       "api",
+		Seed:       7,
+		N:          4,
+		F:          1,
+		Duration:   5 * clocksync.Minute,
+		Theta:      2 * clocksync.Minute,
+		Rho:        1e-4,
+		InitSpread: 200 * clocksync.Millisecond,
+	}
+}
+
+// TestRunScenarioOptions exercises the functional-option surface: observers
+// and sinks attach per call, and the caller's Scenario value is not
+// mutated.
+func TestRunScenarioOptions(t *testing.T) {
+	s := smallScenario()
+	ring := clocksync.NewRing(1024)
+	var jsonl bytes.Buffer
+	res, err := clocksync.RunScenario(s,
+		clocksync.WithObserver(clocksync.NewObserver(ring)),
+		clocksync.WithEventSink(clocksync.NewJSONLSink(&jsonl)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Observer != nil || s.EventSink != nil {
+		t.Error("RunScenario options mutated the caller's Scenario")
+	}
+	if res.EventCounts[clocksync.EventRound] == 0 {
+		t.Errorf("no round events tallied: %v", res.EventCounts)
+	}
+	sawRound := false
+	for _, e := range ring.Events() {
+		if e.Kind == clocksync.EventRound {
+			sawRound = true
+			break
+		}
+	}
+	if !sawRound {
+		t.Error("observer ring captured no round events")
+	}
+	if !strings.Contains(jsonl.String(), `"kind":"round"`) {
+		t.Error("JSONL sink received no round events")
+	}
+}
+
+// TestRunScenarioWithTrace checks the measurement trace option produces
+// JSON lines.
+func TestRunScenarioWithTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := clocksync.RunScenario(smallScenario(), clocksync.WithTrace(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("WithTrace produced no output")
+	}
+}
+
+// TestSweepExported checks the package-level Sweep and WorstDeviation.
+func TestSweepExported(t *testing.T) {
+	mk := func(int64) clocksync.Scenario {
+		s := smallScenario()
+		s.Duration = 2 * clocksync.Minute
+		return s
+	}
+	results, err := clocksync.Sweep(mk, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := clocksync.WorstDeviation(results); worst == nil {
+		t.Fatal("WorstDeviation returned nil for a successful sweep")
+	}
+}

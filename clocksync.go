@@ -9,24 +9,44 @@
 // Corrupted processors recover automatically after release, without any
 // fault or recovery detection.
 //
-// The package exposes three layers:
+// This file is the package's entire public surface, organized in four
+// sections:
 //
-//   - Simulation: deterministic discrete-event experiments
-//     (Scenario/RunScenario), used to validate the Theorem 5 bounds and to
-//     reproduce every experiment in EXPERIMENTS.md.
-//   - Analysis: the closed-form Theorem 5 calculator (Params/Derive).
-//   - Deployment: a real-time UDP node (LiveConfig/NewLiveNode) that runs
-//     the same convergence function over authenticated links.
+//   - Analysis: the closed-form Theorem 5 calculator (Params, Derive,
+//     Provision).
+//   - Simulation: deterministic discrete-event experiments (Scenario,
+//     RunScenario, Sweep) with adversary schedules, behaviors, topologies
+//     and delay models.
+//   - Observability: the event stream and counter types shared by the
+//     simulator and the live node (Observer, Event, Ring, JSONL), attached
+//     to a run with RunScenario options.
+//   - Deployment: a real-time UDP node (NodeConfig, NewNode) and an
+//     in-process loopback cluster (ClusterConfig, NewCluster) running the
+//     same convergence function over authenticated links, exporting
+//     Prometheus-style /metrics and /debug/pprof.
 //
-// See the examples directory for runnable entry points.
+// Deprecated spellings of older names live in deprecated.go; new code
+// should use the names below. See the examples directory for runnable
+// entry points.
 package clocksync
 
 import (
+	"io"
+
+	"clocksync/internal/adversary"
 	"clocksync/internal/analysis"
 	"clocksync/internal/livenet"
+	"clocksync/internal/metrics"
+	"clocksync/internal/network"
+	"clocksync/internal/obs"
+	"clocksync/internal/protocol"
 	"clocksync/internal/scenario"
 	"clocksync/internal/simtime"
 )
+
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
 
 // Time is an instant in simulated real time, in seconds.
 type Time = simtime.Time
@@ -41,6 +61,13 @@ const (
 	Minute      = simtime.Minute
 	Hour        = simtime.Hour
 )
+
+// Seconds converts a float64 second count to a Duration.
+func Seconds(s float64) Duration { return simtime.Duration(s) }
+
+// ---------------------------------------------------------------------------
+// Analysis — Theorem 5 bounds
+// ---------------------------------------------------------------------------
 
 // Params are the model constants and protocol settings of the analysis
 // (drift bound ρ, delivery bound δ, adversary period Θ, SyncInt, MaxWait).
@@ -65,33 +92,230 @@ func Provision(targetDelta Duration, rho float64, theta Duration) (Params, error
 	return analysis.Provision(targetDelta, rho, theta)
 }
 
+// ---------------------------------------------------------------------------
+// Simulation — scenarios and runs
+// ---------------------------------------------------------------------------
+
 // Scenario describes a complete simulation: processors, clocks, network,
 // protocol parameters, adversary schedule and measurement settings.
 type Scenario = scenario.Scenario
 
 // Result is the outcome of a simulation run: the measured report, the
-// theoretical bounds it is compared against, and the raw sample series.
+// theoretical bounds it is compared against, the raw sample series, and —
+// when an observer was attached — the run's event tallies.
 type Result = scenario.Result
 
-// RunScenario executes a simulation.
-func RunScenario(s Scenario) (*Result, error) { return scenario.Run(s) }
+// RunOption customizes one RunScenario call without mutating the caller's
+// Scenario value.
+type RunOption func(*Scenario)
 
-// LiveConfig configures a real-time UDP node.
-type LiveConfig = livenet.Config
+// WithObserver attaches an Observer to the run: it receives one Event per
+// sync round, convergence failure, estimation timeout, corruption and
+// release, and its Recorder accumulates the run's counters.
+func WithObserver(o *Observer) RunOption {
+	return func(s *Scenario) { s.Observer = o }
+}
 
-// LiveNode is a deployable Sync participant on a real network.
-type LiveNode = livenet.Node
+// WithEventSink streams the run's events to sink (creating a private
+// Observer when none was attached) — the convenience path for "just give me
+// the events", e.g. WithEventSink(NewJSONLSink(w)).
+func WithEventSink(sink EventSink) RunOption {
+	return func(s *Scenario) { s.EventSink = sink }
+}
 
-// NewLiveNode opens a live node's socket and prepares it to Run.
-func NewLiveNode(cfg LiveConfig) (*LiveNode, error) { return livenet.New(cfg) }
+// WithTrace streams the run's JSON-lines measurement trace to w, readable
+// with the trace package and the tracestat command.
+func WithTrace(w io.Writer) RunOption {
+	return func(s *Scenario) { s.TraceWriter = w }
+}
 
-// LiveCluster runs n live nodes in one process on loopback sockets.
-type LiveCluster = livenet.Cluster
+// RunScenario executes a simulation. Options apply to a copy of s, so a
+// Scenario value can be reused across calls with different observers.
+func RunScenario(s Scenario, opts ...RunOption) (*Result, error) {
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return scenario.Run(s)
+}
 
-// LiveClusterConfig parameterizes an in-process live cluster.
-type LiveClusterConfig = livenet.ClusterConfig
+// Sweep runs independently-built scenarios, one per seed, concurrently,
+// returning results in seed order. When some seeds fail, the successful
+// results are still returned (failed seeds leave nil slots) alongside an
+// error joining one descriptive error per failed seed.
+func Sweep(mk func(seed int64) Scenario, seeds []int64) ([]*Result, error) {
+	return scenario.Sweep(mk, seeds)
+}
 
-// NewLiveCluster opens sockets for all nodes and wires their peer tables.
-func NewLiveCluster(cfg LiveClusterConfig) (*LiveCluster, error) {
+// WorstDeviation returns the sweep result with the largest measured
+// deviation, skipping nil slots from failed seeds.
+func WorstDeviation(results []*Result) *Result { return scenario.WorstDeviation(results) }
+
+// Measurement types produced by a run.
+type (
+	// Report condenses a run: worst deviation, discontinuity, clock rates
+	// and per-release recovery records.
+	Report = metrics.Report
+	// Recovery describes how one released processor rejoined.
+	Recovery = metrics.Recovery
+	// Sample is one measurement instant: biases, the good set, and the
+	// good-set deviation.
+	Sample = metrics.Sample
+)
+
+// Adversary schedule types (Definition 2): a Schedule lists break-ins; it is
+// validated to be f-limited with respect to Θ before a run.
+type (
+	// Schedule is a set of corruptions — the static description of a mobile
+	// adversary strategy.
+	Schedule = adversary.Schedule
+	// Corruption is one break-in window with the behavior driving the
+	// victim.
+	Corruption = adversary.Corruption
+	// Behavior scripts a corrupted processor.
+	Behavior = protocol.Behavior
+)
+
+// RotateAdversary builds an f-limited rotating corruption schedule over all
+// n processors: the unbounded-total-faults workload of the paper.
+func RotateAdversary(n, f int, start Time, dwell, theta Duration, events int, mk func(node int) Behavior) Schedule {
+	return adversary.Rotate(n, f, start, dwell, theta, events, mk)
+}
+
+// StaticAdversary corrupts a fixed set of nodes for [from, to).
+func StaticAdversary(nodes []int, from, to Time, mk func(node int) Behavior) Schedule {
+	return adversary.Static(nodes, from, to, mk)
+}
+
+// Byzantine behaviors for corrupted processors.
+type (
+	// Crash keeps the victim silent.
+	Crash = adversary.Crash
+	// ClockSmash rewrites the victim's clock by Offset on break-in.
+	ClockSmash = adversary.ClockSmash
+	// RandomLiar answers with uniformly noisy clock readings.
+	RandomLiar = adversary.RandomLiar
+	// ConsistentLiar reports real time plus a fixed offset to everyone.
+	ConsistentLiar = adversary.ConsistentLiar
+	// SplitBrain reports different clocks to different halves of the
+	// cluster — the attack that exhibits the n ≥ 3f+1 threshold.
+	SplitBrain = adversary.SplitBrain
+)
+
+// Network topologies and delay models.
+type (
+	// Topology describes which processors share links.
+	Topology = network.Topology
+	// DelayModel samples per-message one-way latency.
+	DelayModel = network.DelayModel
+	// ConstantDelay delivers after a fixed latency.
+	ConstantDelay = network.ConstantDelay
+	// UniformDelay samples latency uniformly from [Min, Max].
+	UniformDelay = network.UniformDelay
+	// SpikyDelay adds occasional latency spikes — the workload where
+	// min-RTT-of-k estimation pays off.
+	SpikyDelay = network.SpikyDelay
+)
+
+// NewFullMesh returns the complete topology on n processors (the paper's
+// main model).
+func NewFullMesh(n int) Topology { return network.NewFullMesh(n) }
+
+// NewTwoCliques builds the §5 counterexample graph on 6f+2 processors.
+func NewTwoCliques(f int) Topology { return network.NewTwoCliques(f) }
+
+// NewUniformDelay validates and returns a uniform latency model.
+func NewUniformDelay(min, max Duration) UniformDelay {
+	return network.NewUniformDelay(min, max)
+}
+
+// Builder constructs the protocol node for one processor; Starter is the
+// node it returns. Scenarios default to the paper's Sync protocol — set a
+// Builder to run a custom or null protocol instead.
+type (
+	// Builder constructs one processor's protocol node.
+	Builder = scenario.Builder
+	// BuildContext is what a Builder receives.
+	BuildContext = scenario.BuildContext
+	// Starter is a protocol node ready to run.
+	Starter = scenario.Starter
+)
+
+// ---------------------------------------------------------------------------
+// Observability — events, counters, sinks
+// ---------------------------------------------------------------------------
+
+// Observability types shared by the simulator and the live node. An
+// Observer fans Events out to sinks and keeps a Recorder of counters; the
+// same Observer type attaches to simulations (WithObserver) and to live
+// nodes (OpsConfig.Observer).
+type (
+	// Observer receives a run's event stream and tallies its counters.
+	Observer = obs.Observer
+	// Event is one structured observation: a timestamp, a kind, the node it
+	// concerns, and numeric fields (e.g. the round's adjustment).
+	Event = obs.Event
+	// EventSink consumes Events; implementations include Ring, JSONL and
+	// EventSinkFunc.
+	EventSink = obs.Sink
+	// EventSinkFunc adapts a function to an EventSink.
+	EventSinkFunc = obs.SinkFunc
+	// Ring is a fixed-capacity in-memory sink retaining the newest events.
+	Ring = obs.Ring
+	// JSONL writes events as JSON lines consumable by the trace package
+	// and the tracestat command.
+	JSONL = obs.JSONL
+	// Recorder is a set of atomic counters and gauges describing protocol
+	// progress (rounds, messages, authentication failures, adjustments).
+	Recorder = obs.Recorder
+)
+
+// Event kinds emitted by the simulator and the live node.
+const (
+	EventRound    = obs.KindRound    // a completed sync round (field "delta")
+	EventSkip     = obs.KindSkip     // a round whose convergence failed
+	EventCorrupt  = obs.KindCorrupt  // adversary break-in (simulation)
+	EventRelease  = obs.KindRelease  // adversary release (simulation)
+	EventAuthFail = obs.KindAuthFail // HMAC rejection (live node)
+	EventTimeout  = obs.KindTimeout  // estimation timeout (field "peer")
+)
+
+// NewObserver returns an Observer fanning events out to the given sinks.
+func NewObserver(sinks ...EventSink) *Observer { return obs.NewObserver(sinks...) }
+
+// NewRing returns an in-memory sink retaining the newest capacity events.
+func NewRing(capacity int) *Ring { return obs.NewRing(capacity) }
+
+// NewJSONLSink returns a sink writing one JSON object per event to w.
+func NewJSONLSink(w io.Writer) *JSONL { return obs.NewJSONL(w) }
+
+// ---------------------------------------------------------------------------
+// Deployment — live UDP nodes
+// ---------------------------------------------------------------------------
+
+// NodeConfig configures a real-time UDP node: the wire/protocol settings
+// every cluster member must agree on, plus per-deployment Ops (metrics
+// endpoint, event observer, logging).
+type NodeConfig = livenet.Config
+
+// OpsConfig is the operational section of a NodeConfig: metrics/pprof HTTP
+// address, event observer, and logging.
+type OpsConfig = livenet.OpsConfig
+
+// Node is a deployable Sync participant on a real network. While running it
+// exports per-node counters (Node.Metrics) and, when Ops.MetricsAddr is
+// set, serves /metrics, /status and /debug/pprof over HTTP.
+type Node = livenet.Node
+
+// NewNode validates cfg, opens the node's socket and prepares it to Run.
+func NewNode(cfg NodeConfig) (*Node, error) { return livenet.New(cfg) }
+
+// Cluster runs n live nodes in one process on loopback sockets.
+type Cluster = livenet.Cluster
+
+// ClusterConfig parameterizes an in-process live cluster.
+type ClusterConfig = livenet.ClusterConfig
+
+// NewCluster opens sockets for all nodes and wires their peer tables.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return livenet.NewCluster(cfg)
 }

@@ -49,6 +49,7 @@ func run() error {
 		drift    = flag.Float64("drift-ppm", 0, "simulated clock drift in ppm")
 		report   = flag.Duration("report", 5*time.Second, "offset report interval (0 = quiet)")
 		status   = flag.String("status", "", "HTTP address serving GET /status (empty = off)")
+		metrics  = flag.String("metrics-addr", "", "HTTP address serving /metrics, /status and /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 
@@ -67,7 +68,9 @@ func run() error {
 		Key:         []byte(*key),
 		SimOffset:   *offset,
 		SimDriftPPM: *drift,
-		Logf:        log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Ltime|log.Lmicroseconds).Printf,
+		Ops: livenet.OpsConfig{
+			Logf: log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Ltime|log.Lmicroseconds).Printf,
+		},
 	})
 	if err != nil {
 		return err
@@ -83,6 +86,13 @@ func run() error {
 			return err
 		}
 		log.Printf("node %d status endpoint at http://%s/status", *id, addr)
+	}
+	if *metrics != "" {
+		addr, err := node.ServeMetrics(ctx, *metrics)
+		if err != nil {
+			return err
+		}
+		log.Printf("node %d observability endpoint at http://%s/metrics (pprof under /debug/pprof)", *id, addr)
 	}
 
 	if *report > 0 {

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"sync"
 	"time"
 
 	"clocksync/internal/adversary"
@@ -20,10 +23,19 @@ import (
 	"clocksync/internal/asciiplot"
 	"clocksync/internal/baseline"
 	"clocksync/internal/network"
+	"clocksync/internal/obs"
 	"clocksync/internal/protocol"
 	"clocksync/internal/scenario"
 	"clocksync/internal/simtime"
 )
+
+// runOpts carries the output/observability settings of one invocation.
+type runOpts struct {
+	plot        bool
+	tracePath   string // -trace: measurement trace (samples, adjustments)
+	traceOut    string // -trace-out: observability event stream (rounds, skips)
+	metricsAddr string // -metrics-addr: /metrics + /debug/pprof during the run
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -49,16 +61,20 @@ func run() error {
 		drop     = flag.Float64("drop", 0, "message drop probability (failure injection)")
 		plot     = flag.Bool("plot", false, "print the deviation time series as an ASCII chart")
 		tracePth = flag.String("trace", "", "write a JSON-lines trace of the run to this file")
+		traceOut = flag.String("trace-out", "", "write the observability event stream (rounds, skips, corruptions) as JSON lines to this file; readable with tracestat")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this HTTP address for the duration of the run (use host:0 for an OS port)")
 		confPath = flag.String("config", "", "load the scenario from a JSON spec file (overrides most flags)")
 		provTgt  = flag.Duration("provision", 0, "instead of simulating, compute parameters meeting this deviation target (uses -rho, -theta)")
 	)
 	flag.Parse()
 
+	opts := runOpts{plot: *plot, tracePath: *tracePth, traceOut: *traceOut, metricsAddr: *metrics}
+
 	if *provTgt != 0 {
 		return provision(*provTgt, *rho, *theta)
 	}
 	if *confPath != "" {
-		return runFromConfig(*confPath, *plot, *tracePth)
+		return runFromConfig(*confPath, opts)
 	}
 
 	s := scenario.Scenario{
@@ -110,16 +126,7 @@ func run() error {
 		}
 	}
 
-	if *tracePth != "" {
-		fh, err := os.Create(*tracePth)
-		if err != nil {
-			return fmt.Errorf("creating trace file: %w", err)
-		}
-		defer fh.Close()
-		s.TraceWriter = fh
-	}
-
-	return execute(s, *proto, *plot)
+	return execute(s, *proto, opts)
 }
 
 // provision answers the deployer's inverse question: what parameters reach
@@ -154,7 +161,7 @@ func protocolRegistry() scenario.Registry {
 }
 
 // runFromConfig loads a JSON spec and executes it.
-func runFromConfig(path string, plot bool, tracePath string) error {
+func runFromConfig(path string, opts runOpts) error {
 	fh, err := os.Open(path)
 	if err != nil {
 		return err
@@ -168,23 +175,56 @@ func runFromConfig(path string, plot bool, tracePath string) error {
 	if err != nil {
 		return err
 	}
-	if tracePath != "" {
-		out, err := os.Create(tracePath)
-		if err != nil {
-			return fmt.Errorf("creating trace file: %w", err)
-		}
-		defer out.Close()
-		s.TraceWriter = out
-	}
 	proto := spec.Protocol
 	if proto == "" {
 		proto = "sync"
 	}
-	return execute(s, proto, plot)
+	return execute(s, proto, opts)
 }
 
-// execute runs the scenario and prints the report.
-func execute(s scenario.Scenario, proto string, plot bool) error {
+// execute runs the scenario with the requested observability attached and
+// prints the report.
+func execute(s scenario.Scenario, proto string, opts runOpts) error {
+	if opts.tracePath != "" {
+		fh, err := os.Create(opts.tracePath)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		defer fh.Close()
+		s.TraceWriter = fh
+	}
+
+	var observer *obs.Observer
+	if opts.traceOut != "" || opts.metricsAddr != "" {
+		observer = obs.NewObserver()
+		s.Observer = observer
+	}
+	if opts.traceOut != "" {
+		fh, err := os.Create(opts.traceOut)
+		if err != nil {
+			return fmt.Errorf("creating event stream file: %w", err)
+		}
+		defer fh.Close()
+		sink := obs.NewJSONL(fh)
+		observer.AddSink(sink)
+		defer func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "syncsim: flushing event stream:", err)
+			}
+		}()
+	}
+	if opts.metricsAddr != "" {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		bound, err := obs.Serve(ctx, &wg, opts.metricsAddr, obs.RecorderMux(observer.Recorder()))
+		if err != nil {
+			cancel()
+			return fmt.Errorf("starting metrics endpoint: %w", err)
+		}
+		defer func() { cancel(); wg.Wait() }()
+		fmt.Printf("observability     http://%s/metrics and /debug/pprof during the run\n", bound)
+	}
+
 	start := time.Now()
 	res, err := scenario.Run(s)
 	if err != nil {
@@ -209,6 +249,21 @@ func execute(s scenario.Scenario, proto string, plot bool) error {
 	fmt.Printf("                  discontinuity   %v (ψ bound: good processors only)\n", res.Report.MaxDiscontinuity)
 	fmt.Printf("                  largest adjust  %v (recovery jumps included)\n", res.Report.MaxAdjustment)
 	fmt.Printf("                  worst |rate−1|  %.3g\n", res.Report.WorstRate)
+	if observer != nil && len(res.EventCounts) > 0 {
+		kinds := make([]string, 0, len(res.EventCounts))
+		for k := range res.EventCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Printf("                  events         ")
+		for i, k := range kinds {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%s=%d", k, res.EventCounts[k])
+		}
+		fmt.Println()
+	}
 	if len(res.Report.Recoveries) > 0 {
 		fmt.Println()
 		fmt.Println("recoveries:")
@@ -221,7 +276,7 @@ func execute(s scenario.Scenario, proto string, plot bool) error {
 				rv.Node, rv.ReleasedAt, rv.InitialDistance, status)
 		}
 	}
-	if plot {
+	if opts.plot {
 		ts, devs := res.Recorder.DeviationSeries()
 		fmt.Println()
 		fmt.Print(asciiplot.Line(ts, map[string][]float64{"deviation": devs},

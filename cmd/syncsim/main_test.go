@@ -4,6 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+	"clocksync/internal/trace"
 )
 
 func TestProtocolRegistryComplete(t *testing.T) {
@@ -26,7 +30,7 @@ func TestRunFromConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracePath := filepath.Join(t.TempDir(), "out.jsonl")
-	if err := runFromConfig(path, false, tracePath); err != nil {
+	if err := runFromConfig(path, runOpts{tracePath: tracePath}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
@@ -44,23 +48,23 @@ func TestRunFromConfigBaselineProtocol(t *testing.T) {
 	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFromConfig(path, false, ""); err != nil {
+	if err := runFromConfig(path, runOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFromConfigErrors(t *testing.T) {
-	if err := runFromConfig("/does/not/exist.json", false, ""); err == nil {
+	if err := runFromConfig("/does/not/exist.json", runOpts{}); err == nil {
 		t.Error("missing config accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte(`{"protocol": "quantum"}`), 0o644)
-	if err := runFromConfig(bad, false, ""); err == nil {
+	if err := runFromConfig(bad, runOpts{}); err == nil {
 		t.Error("unknown protocol accepted")
 	}
 	garbage := filepath.Join(t.TempDir(), "garbage.json")
 	os.WriteFile(garbage, []byte(`{{{`), 0o644)
-	if err := runFromConfig(garbage, false, ""); err == nil {
+	if err := runFromConfig(garbage, runOpts{}); err == nil {
 		t.Error("garbage config accepted")
 	}
 }
@@ -72,8 +76,52 @@ func TestShippedConfigsAreValid(t *testing.T) {
 		t.Fatalf("no shipped configs found: %v", err)
 	}
 	for _, path := range matches {
-		if err := runFromConfig(path, false, ""); err != nil {
+		if err := runFromConfig(path, runOpts{}); err != nil {
 			t.Errorf("%s: %v", path, err)
 		}
+	}
+}
+
+func TestExecuteWritesEventStream(t *testing.T) {
+	// The ISSUE acceptance check: -trace-out JSONL parses with the trace
+	// package (what cmd/tracestat uses) and carries round events.
+	out := filepath.Join(t.TempDir(), "events.jsonl")
+	s := scenario.Scenario{
+		Name: "trace-out", Seed: 4, N: 4, F: 1,
+		Duration: 3 * simtime.Minute, Theta: simtime.Minute,
+		Rho: 1e-4, InitSpread: 100 * simtime.Millisecond,
+	}
+	if err := execute(s, "sync", runOpts{traceOut: out}); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	events, err := trace.Read(fh)
+	if err != nil {
+		t.Fatalf("event stream unreadable by the trace package: %v", err)
+	}
+	sum := trace.Summarize(events)
+	if sum.ByKind["round"] == 0 {
+		t.Errorf("event stream has no round events: %+v", sum.ByKind)
+	}
+}
+
+func TestExecuteServesMetricsDuringRun(t *testing.T) {
+	// -metrics-addr binds before the simulation starts; verify the recorder
+	// page exists by racing a scrape against a short run via the handler the
+	// flag installs. The endpoint lives only for the run, so probe the bound
+	// address printed by execute indirectly: use a scenario long enough to
+	// scrape mid-run would be flaky — instead just check execute accepts the
+	// flag and shuts the listener down cleanly.
+	s := scenario.Scenario{
+		Name: "metrics", Seed: 4, N: 4, F: 1,
+		Duration: 2 * simtime.Minute, Theta: simtime.Minute,
+		Rho: 1e-4, InitSpread: 50 * simtime.Millisecond,
+	}
+	if err := execute(s, "sync", runOpts{metricsAddr: "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
 	}
 }

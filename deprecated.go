@@ -1,0 +1,37 @@
+package clocksync
+
+// Deprecated aliases for the pre-observability API surface. They behave
+// identically to the canonical names in clocksync.go and exist only so
+// existing programs keep compiling; new code should not use them.
+
+// LiveConfig configures a real-time UDP node.
+//
+// Deprecated: use NodeConfig.
+type LiveConfig = NodeConfig
+
+// LiveNode is a deployable Sync participant on a real network.
+//
+// Deprecated: use Node.
+type LiveNode = Node
+
+// NewLiveNode opens a live node's socket and prepares it to Run.
+//
+// Deprecated: use NewNode.
+func NewLiveNode(cfg LiveConfig) (*LiveNode, error) { return NewNode(cfg) }
+
+// LiveCluster runs n live nodes in one process on loopback sockets.
+//
+// Deprecated: use Cluster.
+type LiveCluster = Cluster
+
+// LiveClusterConfig parameterizes an in-process live cluster.
+//
+// Deprecated: use ClusterConfig.
+type LiveClusterConfig = ClusterConfig
+
+// NewLiveCluster opens sockets for all nodes and wires their peer tables.
+//
+// Deprecated: use NewCluster.
+func NewLiveCluster(cfg LiveClusterConfig) (*LiveCluster, error) {
+	return NewCluster(cfg)
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"clocksync/internal/obs"
 	"clocksync/internal/protocol"
 	"clocksync/internal/simtime"
 )
@@ -245,6 +246,9 @@ func (n *Node) tick() {
 		// The adversary owns this processor; its correct logic is suspended.
 		// The alarm chain itself keeps running.
 		n.stats.Skipped++
+		if rec := n.h.Obs.Recorder(); rec != nil {
+			rec.RoundsSkipped.Inc()
+		}
 		return
 	}
 	if n.cache != nil {
@@ -265,6 +269,12 @@ func (n *Node) finish(ests []protocol.Estimate) {
 	delta, ok := Converge(n.cfg.F, n.cfg.WayOff, all)
 	if !ok {
 		n.stats.Skipped++
+		if rec := n.h.Obs.Recorder(); rec != nil {
+			rec.RoundsSkipped.Inc()
+			n.h.Obs.Emit(obs.Event{
+				At: float64(n.h.Sim().Now()), Kind: obs.KindSkip, Node: n.h.ID(),
+			})
+		}
 		return
 	}
 	jumped := wayOff(n.cfg.F, n.cfg.WayOff, all)
@@ -274,6 +284,34 @@ func (n *Node) finish(ests []protocol.Estimate) {
 	n.stats.Syncs++
 	n.stats.LastDelta = delta
 	n.h.Adjust(delta)
+	if rec := n.h.Obs.Recorder(); rec != nil {
+		rec.SyncRounds.Inc()
+		rec.LastAdjust.Set(float64(delta))
+		// Adjustments are applied instantaneously (Definition 1 permits only
+		// additive corrections), so the amortization gauge pins at 1.
+		rec.AmortizationProgress.Set(1)
+		if jumped {
+			rec.WayOffJumps.Inc()
+		}
+		failed := 0
+		for _, e := range all {
+			if !e.OK {
+				failed++
+			}
+		}
+		wj := 0.0
+		if jumped {
+			wj = 1
+		}
+		n.h.Obs.Emit(obs.Event{
+			At: float64(n.h.Sim().Now()), Kind: obs.KindRound, Node: n.h.ID(),
+			Fields: map[string]float64{
+				"delta":  float64(delta),
+				"failed": float64(failed),
+				"wayoff": wj,
+			},
+		})
+	}
 	if n.cache != nil && n.cfg.CacheInvalidateOnAdjust && delta != 0 {
 		n.cache.Invalidate()
 	}

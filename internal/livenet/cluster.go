@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"clocksync/internal/obs"
 )
 
 // Cluster runs n live nodes in one process on loopback sockets — the
@@ -30,6 +32,13 @@ type ClusterConfig struct {
 	Offsets  []time.Duration
 	DriftPPM []float64
 	Logf     func(format string, args ...any)
+
+	// Metrics, when true, serves each node's observability endpoint
+	// (/metrics, /status, /debug/pprof) on a loopback port of its own from
+	// Start until Stop; read the bound addresses with Cluster.MetricsAddr.
+	Metrics bool
+	// Observer receives the structured event stream of every node.
+	Observer *obs.Observer
 }
 
 // NewCluster opens sockets for all nodes and wires their peer tables. Call
@@ -48,6 +57,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if i < len(cfg.DriftPPM) {
 			drift = cfg.DriftPPM[i]
 		}
+		ops := OpsConfig{Logf: cfg.Logf, Observer: cfg.Observer}
+		if cfg.Metrics {
+			ops.MetricsAddr = "127.0.0.1:0"
+		}
 		node, err := New(Config{
 			ID:          i,
 			F:           cfg.F,
@@ -58,7 +71,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Key:         cfg.Key,
 			SimOffset:   off,
 			SimDriftPPM: drift,
-			Logf:        cfg.Logf,
+			Ops:         ops,
 		})
 		if err != nil {
 			c.closeAll()
@@ -125,6 +138,10 @@ func (c *Cluster) Stop() error {
 
 // Node returns the i-th node.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// MetricsAddr returns the bound observability address of the i-th node (""
+// until Start when ClusterConfig.Metrics is set, or always when it is not).
+func (c *Cluster) MetricsAddr(i int) string { return c.nodes[i].MetricsAddr() }
 
 // Nodes returns all nodes.
 func (c *Cluster) Nodes() []*Node { return c.nodes }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"clocksync/internal/core"
+	"clocksync/internal/obs"
 	"clocksync/internal/protocol"
 	"clocksync/internal/simtime"
 )
@@ -59,20 +60,50 @@ func (m *wireMsg) mac(key []byte) []byte {
 	return h.Sum(nil)
 }
 
-// Config parameterizes a live node.
+// OpsConfig groups a node's operational settings — how it is observed and
+// logged — separate from the wire/protocol settings that must agree across a
+// cluster. Everything here is per-deployment and changing it never affects
+// interoperability.
+type OpsConfig struct {
+	// MetricsAddr, when non-empty, starts an HTTP listener there when the
+	// node Runs, serving GET /metrics (Prometheus text), GET /status (the
+	// node's StatusJSON) and the /debug/pprof profiling endpoints. Use
+	// "127.0.0.1:0" for an OS-assigned port (read it back via Node.
+	// MetricsAddr after Run starts).
+	MetricsAddr string
+
+	// Observer receives the node's structured event stream (round, skip,
+	// authfail, timeout events). Nil disables event emission. Counters are
+	// always kept, per node, in Node.Metrics — the observer's own Recorder
+	// is not written by livenet, so one observer can safely serve a whole
+	// cluster's events.
+	Observer *obs.Observer
+
+	// Logf receives diagnostic output; nil silences the node.
+	Logf func(format string, args ...any)
+}
+
+// Config parameterizes a live node. The first block is the wire/protocol
+// configuration every cluster member must agree on for the §3.2 analysis to
+// apply; Ops holds the purely operational settings; the Sim* fields
+// synthesize a faulty hardware clock for demonstrations.
 type Config struct {
+	// Wire/protocol settings.
 	ID     int
-	F      int
+	F      int            // per-period fault budget; the cluster must satisfy n ≥ 3f+1
 	Listen string         // UDP listen address, e.g. "127.0.0.1:9000"
 	Peers  map[int]string // peer id → address (excluding self)
 
-	SyncInt time.Duration // wall time between Sync executions
+	SyncInt time.Duration // wall time between Sync executions (≥ 2·MaxWait)
 	MaxWait time.Duration // estimation timeout
 	WayOff  time.Duration // own-clock rejection threshold
 
 	// Key enables HMAC authentication when non-empty. All nodes must share
 	// it; without it the "authenticated links" assumption of §2.2 is void.
 	Key []byte
+
+	// Operational settings (metrics endpoint, event observer, logging).
+	Ops OpsConfig
 
 	// SimOffset and SimDriftPPM synthesize a faulty hardware clock on top of
 	// the host clock, for demonstrations: the node's clock starts SimOffset
@@ -81,18 +112,47 @@ type Config struct {
 	SimDriftPPM float64
 
 	// Logf receives diagnostic output; nil silences the node.
+	//
+	// Deprecated: set Ops.Logf. This field is folded into Ops by Validate
+	// and kept only so existing configurations compile.
 	Logf func(format string, args ...any)
 }
 
-func (c *Config) validate() error {
-	if c.SyncInt <= 0 || c.MaxWait <= 0 || c.WayOff <= 0 {
-		return errors.New("livenet: SyncInt, MaxWait and WayOff must be positive")
+// Validate checks the configuration and normalizes deprecated fields,
+// returning actionable errors naming the offending field. New calls it;
+// callers constructing configs programmatically can call it early to fail
+// before sockets are opened.
+func (c *Config) Validate() error {
+	if c.Logf != nil && c.Ops.Logf == nil {
+		c.Ops.Logf = c.Logf
+	}
+	if c.SyncInt <= 0 {
+		return fmt.Errorf("livenet: SyncInt %v must be positive (wall time between Sync executions, e.g. 2s)", c.SyncInt)
+	}
+	if c.MaxWait <= 0 {
+		return fmt.Errorf("livenet: MaxWait %v must be positive (estimation timeout, e.g. 500ms)", c.MaxWait)
+	}
+	if c.WayOff <= 0 {
+		return fmt.Errorf("livenet: WayOff %v must be positive (own-clock rejection threshold; Theorem 5 suggests Δ+ε)", c.WayOff)
 	}
 	if c.SyncInt < 2*c.MaxWait {
-		return fmt.Errorf("livenet: SyncInt %v < 2·MaxWait %v", c.SyncInt, c.MaxWait)
+		return fmt.Errorf("livenet: SyncInt %v < 2·MaxWait %v violates §3.2 — raise SyncInt or lower MaxWait", c.SyncInt, c.MaxWait)
 	}
 	if c.F < 0 {
-		return fmt.Errorf("livenet: negative f %d", c.F)
+		return fmt.Errorf("livenet: negative fault budget f=%d", c.F)
+	}
+	if c.ID < 0 {
+		return fmt.Errorf("livenet: negative node id %d", c.ID)
+	}
+	if c.Listen == "" {
+		return errors.New(`livenet: Listen address required (use "127.0.0.1:0" for an OS-assigned port)`)
+	}
+	if _, dup := c.Peers[c.ID]; dup {
+		return fmt.Errorf("livenet: peer table contains this node's own id %d — list only the other members", c.ID)
+	}
+	if len(c.Peers) > 0 && len(c.Peers)+1 < 3*c.F+1 {
+		return fmt.Errorf("livenet: cluster size n=%d does not satisfy n ≥ 3f+1 for f=%d — add peers or lower F",
+			len(c.Peers)+1, c.F)
 	}
 	return nil
 }
@@ -103,14 +163,16 @@ type Node struct {
 	conn  *net.UDPConn
 	peers map[int]*net.UDPAddr
 	start time.Time
+	rec   *obs.Recorder
 
-	mu       sync.Mutex
-	adj      time.Duration
-	nonce    uint64
-	pending  map[uint64]pendingPing
-	syncs    int
-	last     time.Duration
-	peerSeen map[int]peerStats
+	mu          sync.Mutex
+	adj         time.Duration
+	nonce       uint64
+	pending     map[uint64]pendingPing
+	syncs       int
+	last        time.Duration
+	peerSeen    map[int]peerStats
+	metricsAddr string
 
 	wg sync.WaitGroup
 }
@@ -148,7 +210,7 @@ type pendingPing struct {
 
 // New opens the node's socket and resolves its peers.
 func New(cfg Config) (*Node, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
@@ -169,13 +231,35 @@ func New(cfg Config) (*Node, error) {
 		peers[id] = ua
 	}
 	return &Node{
-		cfg:      cfg,
-		conn:     conn,
-		peers:    peers,
-		start:    time.Now(),
+		cfg:   cfg,
+		conn:  conn,
+		peers: peers,
+		start: time.Now(),
+		// Counters are always per-node (the /metrics endpoint labels them by
+		// id); Ops.Observer receives only the event stream.
+		rec:      obs.NewRecorder(),
 		pending:  make(map[uint64]pendingPing),
 		peerSeen: make(map[int]peerStats),
 	}, nil
+}
+
+// Metrics returns the node's counter recorder. It is live: scraping it (or
+// reading counters in tests) reflects the node's current totals.
+func (n *Node) Metrics() *obs.Recorder { return n.rec }
+
+// emit sends a structured event to the configured observer, stamping it with
+// Unix time in seconds. No-op when no observer is configured.
+func (n *Node) emit(kind string, fields map[string]float64) {
+	o := n.cfg.Ops.Observer
+	if o == nil {
+		return
+	}
+	o.Emit(obs.Event{
+		At:     float64(time.Now().UnixNano()) / 1e9,
+		Kind:   kind,
+		Node:   n.cfg.ID,
+		Fields: fields,
+	})
 }
 
 // StatusJSON renders the Status snapshot for monitoring endpoints.
@@ -243,6 +327,44 @@ func (n *Node) ServeStatus(ctx context.Context, addr string) (string, error) {
 		srv.Close()
 	}()
 	return ln.Addr().String(), nil
+}
+
+// ServeMetrics starts the node's observability endpoint on addr: GET
+// /metrics in Prometheus text format (counters labeled node="<id>"), GET
+// /status with the StatusJSON snapshot, and the net/http/pprof endpoints
+// under /debug/pprof/. It returns the bound address; the server stops when
+// ctx is cancelled. Run calls this automatically when Ops.MetricsAddr is
+// set.
+func (n *Node) ServeMetrics(ctx context.Context, addr string) (string, error) {
+	labels := fmt.Sprintf("node=%q", fmt.Sprint(n.cfg.ID))
+	mux := obs.NewMux(func(w http.ResponseWriter) error {
+		return n.rec.WriteProm(w, labels)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		data, err := n.StatusJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	bound, err := obs.Serve(ctx, &n.wg, addr, mux)
+	if err != nil {
+		return "", err
+	}
+	n.mu.Lock()
+	n.metricsAddr = bound
+	n.mu.Unlock()
+	return bound, nil
+}
+
+// MetricsAddr returns the bound address of the observability endpoint, or ""
+// when none is serving.
+func (n *Node) MetricsAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.metricsAddr
 }
 
 // Status returns a snapshot of the node's synchronization state.
@@ -335,6 +457,13 @@ func (n *Node) Run(ctx context.Context) error {
 	if nPeers+1 < 3*n.cfg.F+1 {
 		return fmt.Errorf("livenet: n=%d does not satisfy n ≥ 3f+1 for f=%d", nPeers+1, n.cfg.F)
 	}
+	if n.cfg.Ops.MetricsAddr != "" && n.MetricsAddr() == "" {
+		bound, err := n.ServeMetrics(ctx, n.cfg.Ops.MetricsAddr)
+		if err != nil {
+			return err
+		}
+		n.logf("metrics endpoint at http://%s/metrics", bound)
+	}
 	n.wg.Add(2)
 	go func() {
 		defer n.wg.Done()
@@ -351,8 +480,8 @@ func (n *Node) Run(ctx context.Context) error {
 }
 
 func (n *Node) logf(format string, args ...any) {
-	if n.cfg.Logf != nil {
-		n.cfg.Logf(format, args...)
+	if n.cfg.Ops.Logf != nil {
+		n.cfg.Ops.Logf(format, args...)
 	}
 }
 
@@ -370,17 +499,24 @@ func (n *Node) readLoop(ctx context.Context) {
 		}
 		var msg wireMsg
 		if err := json.Unmarshal(buf[:nr], &msg); err != nil || msg.V != wireVersion {
+			n.rec.MessagesDropped.Inc()
 			continue // not ours
 		}
 		if len(n.cfg.Key) > 0 && !hmac.Equal(msg.MAC, msg.mac(n.cfg.Key)) {
+			n.rec.AuthFailures.Inc()
+			n.rec.MessagesDropped.Inc()
+			n.emit(obs.KindAuthFail, map[string]float64{"from": float64(msg.From)})
 			n.logf("dropping unauthenticated message from %v", raddr)
 			continue
 		}
+		n.rec.MessagesReceived.Inc()
 		switch msg.Type {
 		case "q":
 			n.answer(msg, raddr)
 		case "r":
 			n.handleResponse(msg)
+		default:
+			n.rec.MessagesDropped.Inc()
 		}
 	}
 }
@@ -408,8 +544,11 @@ func (n *Node) send(msg wireMsg, to *net.UDPAddr) {
 		return
 	}
 	if _, err := n.conn.WriteToUDP(data, to); err != nil {
+		n.rec.MessagesDropped.Inc()
 		n.logf("send to %v failed: %v", to, err)
+		return
 	}
+	n.rec.MessagesSent.Inc()
 }
 
 func (n *Node) handleResponse(msg wireMsg) {
@@ -497,6 +636,7 @@ collect:
 		}
 	}
 	// Drop leftover pending entries for this round and fill failures.
+	failed := 0
 	n.mu.Lock()
 	for nonce, p := range n.pending {
 		for _, pg := range pings {
@@ -506,15 +646,21 @@ collect:
 				ps := n.peerSeen[p.peer]
 				ps.failures++
 				n.peerSeen[p.peer] = ps
+				failed++
 				break
 			}
 		}
 	}
 	n.mu.Unlock()
+	if failed > 0 {
+		n.rec.EstimationTimeouts.Add(int64(failed))
+	}
 	ests = append(ests, protocol.Estimate{Peer: n.cfg.ID, D: 0, A: 0, OK: true})
 
 	delta, ok := core.Converge(n.cfg.F, simtime.Duration(n.cfg.WayOff.Seconds()), ests)
 	if !ok {
+		n.rec.RoundsSkipped.Inc()
+		n.emit(obs.KindSkip, map[string]float64{"failed": float64(failed)})
 		n.logf("sync: too few answers (%d) for f=%d", len(ests)-1, n.cfg.F)
 		return
 	}
@@ -524,5 +670,11 @@ collect:
 	n.syncs++
 	n.last = dd
 	n.mu.Unlock()
+	n.rec.SyncRounds.Inc()
+	n.rec.LastAdjust.Set(dd.Seconds())
+	// Live nodes apply adjustments in one step, so amortization is complete
+	// the moment the round commits.
+	n.rec.AmortizationProgress.Set(1)
+	n.emit(obs.KindRound, map[string]float64{"delta": dd.Seconds(), "failed": float64(failed)})
 	n.logf("sync #%d: adjusted by %v (offset now %v)", n.Syncs(), dd, n.Offset())
 }

@@ -134,6 +134,25 @@ func (n *Network) TotalSent() int {
 	return total
 }
 
+// TotalDelivered returns the total number of messages delivered to handlers.
+func (n *Network) TotalDelivered() int {
+	total := 0
+	for i := range n.counters {
+		total += n.counters[i].Delivered
+	}
+	return total
+}
+
+// TotalDropped returns the total number of messages lost in transit (drop
+// probability or partition injection).
+func (n *Network) TotalDropped() int {
+	total := 0
+	for i := range n.counters {
+		total += n.counters[i].Dropped
+	}
+	return total
+}
+
 // TotalBytes returns the total approximate bytes sent by all processors.
 func (n *Network) TotalBytes() int {
 	total := 0

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured observation. At is in seconds — simulation time
+// for simulated runs, Unix time for live nodes. Kind names the observation;
+// Fields carries its numeric payload (e.g. {"delta": 0.004} for an
+// adjustment). The JSON encoding is one object per line when written through
+// a JSONL sink, and cmd/tracestat understands the stream.
+type Event struct {
+	At     float64            `json:"at"`
+	Kind   string             `json:"kind"`
+	Node   int                `json:"node,omitempty"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// Standard event kinds emitted by the instrumented layers. Sinks must accept
+// unknown kinds: layers may add new ones.
+const (
+	KindRound    = "round"    // one completed Sync execution; fields: delta, failed, wayoff
+	KindSkip     = "skip"     // a Sync execution that applied no adjustment
+	KindCorrupt  = "corrupt"  // the adversary broke into a node
+	KindRelease  = "release"  // the adversary left a node
+	KindAuthFail = "authfail" // a message failed HMAC verification
+	KindTimeout  = "timeout"  // a peer estimation hit MaxWait; fields: peer
+)
+
+// Sink consumes events. Implementations must be safe for concurrent Emit
+// calls: live nodes emit from several goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to a Sink. The function must be safe for
+// concurrent calls.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// MultiSink fans every event out to each member.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Ring is a fixed-capacity in-memory sink keeping the most recent events —
+// the "flight recorder" for tests and post-mortem inspection.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count int
+	total int64
+}
+
+// NewRing returns a ring holding the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Total returns the number of events ever emitted (including overwritten
+// ones).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// JSONL streams events to a writer as JSON lines. Encoding errors are sticky
+// and reported by Flush, so an unwritable trace never corrupts a run.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a sink writing one JSON object per line to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(e)
+	}
+	j.mu.Unlock()
+}
+
+// Flush drains the buffer and returns the first error encountered, if any.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Observer bundles a Recorder with an event stream: the single handle the
+// instrumented layers write to and the public API hands around. A nil
+// *Observer is valid and discards everything, so call sites need no guards.
+type Observer struct {
+	rec *Recorder
+
+	mu     sync.Mutex
+	sinks  []Sink
+	counts map[string]int64
+}
+
+// NewObserver returns an observer with a fresh Recorder, fanning events out
+// to the given sinks.
+func NewObserver(sinks ...Sink) *Observer {
+	return &Observer{rec: NewRecorder(), sinks: sinks, counts: make(map[string]int64)}
+}
+
+// Recorder returns the observer's counter/gauge recorder (nil for a nil
+// observer — callers incrementing counters must check).
+func (o *Observer) Recorder() *Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.rec
+}
+
+// AddSink attaches another sink. Events emitted before the call are not
+// replayed.
+func (o *Observer) AddSink(s Sink) {
+	if o == nil || s == nil {
+		return
+	}
+	o.mu.Lock()
+	o.sinks = append(o.sinks, s)
+	o.mu.Unlock()
+}
+
+// Emit tallies the event and fans it out to every sink. Safe on a nil
+// observer.
+func (o *Observer) Emit(e Event) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.counts[e.Kind]++
+	sinks := o.sinks
+	o.mu.Unlock()
+	for _, s := range sinks {
+		s.Emit(e)
+	}
+}
+
+// EventCounts returns a copy of the per-kind tally of every event emitted
+// through this observer.
+func (o *Observer) EventCounts() map[string]int64 {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int64, len(o.counts))
+	for k, v := range o.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package obs is the observability layer shared by the simulator and the
+// live deployment: lock-free counters and gauges (Recorder), a structured
+// event stream with pluggable sinks (Event/Sink), and an HTTP exporter
+// serving Prometheus-style text on /metrics plus the net/http/pprof
+// profiling endpoints.
+//
+// The paper's guarantees are statements about observable quantities — the
+// deviation Δ of Theorem 5, the discontinuity ψ of Definition 3(ii), the
+// Lemma 7 recovery halving — and checking them on a running deployment
+// requires the system to emit the per-round signals they are computed from.
+// Every layer of this repository therefore reports through this package:
+// internal/core emits one event per Sync execution, internal/livenet counts
+// datagrams and authentication failures on its UDP paths, and
+// internal/scenario attaches an Observer to every simulated processor.
+//
+// All types are safe for concurrent use; the simulator uses them from a
+// single goroutine and live nodes from several.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: negative add to a counter")
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 gauge. The zero value reads 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores x.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Recorder aggregates the protocol's operational counters and gauges. One
+// Recorder describes one processor (live node or simulated cluster); fields
+// are updated in place by the instrumented layers and exported through
+// WriteProm. The zero value is ready to use, but shared instances should be
+// created with NewRecorder so they are always pointers.
+type Recorder struct {
+	// Message-path counters (livenet UDP paths; simulator network totals).
+	MessagesSent     Counter // datagrams (or simulated messages) sent
+	MessagesReceived Counter // datagrams received and parsed as ours
+	MessagesDropped  Counter // received but discarded (parse error, stale nonce) or lost in transit
+	AuthFailures     Counter // messages rejected by HMAC verification
+
+	// Protocol counters.
+	SyncRounds         Counter // completed Sync executions (Figure 1 runs)
+	RoundsSkipped      Counter // executions skipped (faulty, or no safe adjustment)
+	EstimationTimeouts Counter // per-peer estimations that hit MaxWait
+	WayOffJumps        Counter // rounds that took the "ignore own clock" recovery branch
+
+	// Convergence gauges.
+	LastAdjust Gauge // most recent convergence adjustment, in seconds (signed)
+	// AmortizationProgress is the fraction of the last adjustment already
+	// applied to the clock: 1 for the paper's instantaneous additive
+	// adjustments; slewing extensions report partial progress.
+	AmortizationProgress Gauge
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Metric is one exported time-series point: a name in Prometheus convention,
+// its type ("counter" or "gauge"), a help line, and the current value.
+type Metric struct {
+	Name  string
+	Type  string
+	Help  string
+	Value float64
+}
+
+// Snapshot returns the recorder's metrics in a fixed order. Counter values
+// use the _total suffix per Prometheus naming conventions.
+func (r *Recorder) Snapshot() []Metric {
+	return []Metric{
+		{"clocksync_messages_sent_total", "counter", "Messages sent on the sync wire.", float64(r.MessagesSent.Load())},
+		{"clocksync_messages_received_total", "counter", "Messages received and accepted.", float64(r.MessagesReceived.Load())},
+		{"clocksync_messages_dropped_total", "counter", "Messages lost in transit or discarded before the protocol.", float64(r.MessagesDropped.Load())},
+		{"clocksync_auth_failures_total", "counter", "Messages rejected by HMAC verification.", float64(r.AuthFailures.Load())},
+		{"clocksync_sync_rounds_total", "counter", "Completed Sync executions.", float64(r.SyncRounds.Load())},
+		{"clocksync_rounds_skipped_total", "counter", "Sync executions skipped (faulty or no safe adjustment).", float64(r.RoundsSkipped.Load())},
+		{"clocksync_estimation_timeouts_total", "counter", "Per-peer estimations that timed out (a=∞ sentinel).", float64(r.EstimationTimeouts.Load())},
+		{"clocksync_wayoff_jumps_total", "counter", "Rounds that took the WayOff recovery branch.", float64(r.WayOffJumps.Load())},
+		{"clocksync_last_adjust_seconds", "gauge", "Most recent convergence adjustment (signed seconds).", r.LastAdjust.Load()},
+		{"clocksync_amortization_progress", "gauge", "Fraction of the last adjustment applied to the clock.", r.AmortizationProgress.Load()},
+	}
+}
+
+// WriteProm renders the recorder in the Prometheus text exposition format.
+// labels, when non-empty, is inserted verbatim into every sample's label set
+// (e.g. `node="3"`).
+func (r *Recorder) WriteProm(w io.Writer, labels string) error {
+	return WriteProm(w, map[string]*Recorder{labels: r})
+}
+
+// WriteProm renders several recorders — keyed by their label set — as one
+// exposition, emitting each metric's HELP/TYPE header once. Deployments with
+// many nodes in one process (Cluster) use it to serve a single /metrics page.
+func WriteProm(w io.Writer, byLabels map[string]*Recorder) error {
+	keys := make([]string, 0, len(byLabels))
+	for k := range byLabels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snaps := make(map[string][]Metric, len(keys))
+	var order []Metric
+	for i, k := range keys {
+		snaps[k] = byLabels[k].Snapshot()
+		if i == 0 {
+			order = snaps[k]
+		}
+	}
+	var b strings.Builder
+	for i, m := range order {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.Name, m.Help, m.Name, m.Type)
+		for _, k := range keys {
+			sample := snaps[k][i]
+			if k == "" {
+				fmt.Fprintf(&b, "%s %s\n", sample.Name, formatValue(sample.Value))
+			} else {
+				fmt.Fprintf(&b, "%s{%s} %s\n", sample.Name, k, formatValue(sample.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else in shortest-float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

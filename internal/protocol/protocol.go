@@ -11,6 +11,7 @@ import (
 	"clocksync/internal/clock"
 	"clocksync/internal/des"
 	"clocksync/internal/network"
+	"clocksync/internal/obs"
 	"clocksync/internal/simtime"
 )
 
@@ -99,6 +100,11 @@ type Harness struct {
 	// (the paper: "one must make sure that this alarm is recovered after a
 	// break-in").
 	OnRelease func(now simtime.Time)
+
+	// Obs receives the processor's observability stream (round events,
+	// estimation timeouts); nil disables instrumentation. The scenario
+	// runner shares one observer across all processors of a run.
+	Obs *obs.Observer
 }
 
 type pendingPing struct {
@@ -266,6 +272,13 @@ func (h *Harness) Ping(peer int, timeout simtime.Duration, done func(Estimate)) 
 	h.ScheduleLocal(timeout, func() {
 		if _, still := h.pending[nonce]; still {
 			delete(h.pending, nonce)
+			if rec := h.Obs.Recorder(); rec != nil {
+				rec.EstimationTimeouts.Inc()
+				h.Obs.Emit(obs.Event{
+					At: float64(h.sim.Now()), Kind: obs.KindTimeout, Node: h.id,
+					Fields: map[string]float64{"peer": float64(peer)},
+				})
+			}
 			once(FailedEstimate(peer))
 		}
 	})

@@ -18,6 +18,7 @@ import (
 	"clocksync/internal/des"
 	"clocksync/internal/metrics"
 	"clocksync/internal/network"
+	"clocksync/internal/obs"
 	"clocksync/internal/protocol"
 	"clocksync/internal/simtime"
 	"clocksync/internal/trace"
@@ -100,6 +101,14 @@ type Scenario struct {
 	// TraceWriter, when non-nil, receives a JSON-lines trace of the run
 	// (adjustments, corruptions, releases, samples).
 	TraceWriter io.Writer
+
+	// Observer, when non-nil, receives the run's observability stream: one
+	// shared counter Recorder and a structured event per Sync round,
+	// estimation timeout, corruption and release. EventSink attaches one
+	// more sink to the run's observer (creating a fresh observer when
+	// Observer is nil) — the convenience path for "just give me the events".
+	Observer  *obs.Observer
+	EventSink obs.Sink
 }
 
 // Result is what a run produces.
@@ -114,6 +123,10 @@ type Result struct {
 	// SyncStats holds per-node protocol counters when the run used the
 	// default Sync builder (nil entries otherwise).
 	SyncStats []*core.Stats
+	// Obs is the observer that instrumented the run (nil when the scenario
+	// attached none); EventCounts is its per-kind event tally.
+	Obs         *obs.Observer
+	EventCounts map[string]int64
 	// Sim is the simulator after the run (for follow-up measurement).
 	Sim *des.Sim
 }
@@ -247,8 +260,18 @@ func Run(s Scenario) (*Result, error) {
 		tracer = trace.New(s.TraceWriter)
 	}
 
+	observer := s.Observer
+	if s.EventSink != nil {
+		if observer == nil {
+			observer = obs.NewObserver()
+		}
+		observer.AddSink(s.EventSink)
+	}
+	res.Obs = observer
+
 	syncNodes := make([]*core.Node, s.N)
 	for i := 0; i < s.N; i++ {
+		harnesses[i].Obs = observer
 		recHook := rec.AdjustHook(i)
 		if tracer != nil {
 			i := i
@@ -286,6 +309,16 @@ func Run(s Scenario) (*Result, error) {
 
 	res.MsgsSent = net.TotalSent()
 	res.BytesSent = net.TotalBytes()
+	if rec := observer.Recorder(); rec != nil {
+		rec.MessagesSent.Add(int64(net.TotalSent()))
+		rec.MessagesReceived.Add(int64(net.TotalDelivered()))
+		rec.MessagesDropped.Add(int64(net.TotalDropped()))
+		for _, c := range s.Adversary.Corruptions {
+			observer.Emit(obs.Event{At: float64(c.From), Kind: obs.KindCorrupt, Node: c.Node})
+			observer.Emit(obs.Event{At: float64(c.To), Kind: obs.KindRelease, Node: c.Node})
+		}
+		res.EventCounts = observer.EventCounts()
+	}
 	if tracer != nil {
 		for _, c := range s.Adversary.Corruptions {
 			tracer.Corrupt(c.From, c.Node)

@@ -1,6 +1,9 @@
 package scenario
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -179,5 +182,79 @@ func TestSpecTopologyDelayErrorsPropagate(t *testing.T) {
 		Adversary: []CorruptionSpec{{Behavior: BehaviorSpec{Kind: "nope"}}}}
 	if _, err := sp.Build(nil); err == nil {
 		t.Fatal("bad behavior accepted")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	// A fully-populated Spec must survive encode → LoadSpec unchanged, and
+	// Build must map every field onto the Scenario. This pins the JSON
+	// surface: adding a field without a json tag (or with a colliding one)
+	// fails here.
+	orig := Spec{
+		Name: "roundtrip", Seed: 99,
+		N: 8, F: 2,
+		DurationSec: 600, ThetaSec: 120, Rho: 2e-4,
+		Delay:      &DelaySpec{Kind: "spiky", Min: 0.001, Max: 0.02, SpikeProb: 0.05, SpikeMax: 0.5},
+		Topology:   &TopoSpec{Kind: "circulant", Degree: 4},
+		DropProb:   0.01,
+		SyncIntSec: 15, MaxWaitSec: 0.2, WayOffSec: 90,
+		InitSpreadSec:    0.25,
+		InitialBiasesSec: []float64{0.01, -0.02, 0.03, 0, 0, 0, 0, 0},
+		Slopes:           []float64{1e-4, -5e-5, 0, 0, 0, 0, 0, 0},
+		TickSec:          0.5,
+		Protocol:         "ntp",
+		Adversary: []CorruptionSpec{
+			{Node: 3, FromSec: 240, ToSec: 270,
+				Behavior: BehaviorSpec{Kind: "smash", OffsetSec: 30, Quiet: true}},
+			{Node: 5, FromSec: 400, ToSec: 430,
+				Behavior: BehaviorSpec{Kind: "splitbrain", Boundary: 4, OffsetSec: 10}},
+		},
+		UnsafeAdversary: true,
+		SamplePeriodSec: 2,
+		SkipValidation:  true,
+	}
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := LoadSpec(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("re-reading encoded spec: %v", err)
+	}
+	if !reflect.DeepEqual(orig, decoded) {
+		t.Fatalf("spec changed across JSON round-trip:\n  sent %+v\n  got  %+v", orig, decoded)
+	}
+
+	s, err := decoded.Build(Registry{"ntp": func(bc BuildContext) Starter { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "roundtrip" || s.Seed != 99 || s.N != 8 || s.F != 2 {
+		t.Errorf("identity fields lost: %+v", s)
+	}
+	if s.Duration != 600*simtime.Second || s.Theta != 2*simtime.Minute || s.Rho != 2e-4 {
+		t.Errorf("timing fields lost: %+v", s)
+	}
+	if s.SyncInt != 15*simtime.Second || s.MaxWait != 200*simtime.Millisecond || s.WayOff != 90*simtime.Second {
+		t.Errorf("protocol fields lost: %+v", s)
+	}
+	if s.InitSpread != 250*simtime.Millisecond || len(s.InitialBiases) != 8 || len(s.Slopes) != 8 {
+		t.Errorf("clock fields lost: %+v", s)
+	}
+	if s.Tick != 500*simtime.Millisecond || s.DropProb != 0.01 || !s.UnsafeAdversary || !s.SkipValidation {
+		t.Errorf("misc fields lost: %+v", s)
+	}
+	if s.SamplePeriod != 2*simtime.Second {
+		t.Errorf("sample period lost: %v", s.SamplePeriod)
+	}
+	if s.Delay == nil || s.Topology == nil || s.Builder == nil {
+		t.Error("delay/topology/protocol not resolved")
+	}
+	if len(s.Adversary.Corruptions) != 2 {
+		t.Fatalf("adversary lost: %+v", s.Adversary)
+	}
+	c := s.Adversary.Corruptions[0]
+	if c.Node != 3 || c.From != 240 || c.To != 270 {
+		t.Errorf("corruption window lost: %+v", c)
 	}
 }

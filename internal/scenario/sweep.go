@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -10,6 +11,11 @@ import (
 // fully independent, so a sweep parallelizes perfectly across cores;
 // experiments use it to report worst-over-seeds numbers instead of one
 // lucky run.
+//
+// When some seeds fail, Sweep still returns every successful result (failed
+// seeds leave a nil slot, preserving seed order) alongside an error joining
+// one descriptive error per failed seed — so an experiment can report which
+// seed diverged instead of discarding the whole sweep.
 //
 // mk must build a fresh Scenario per call: scenarios can carry stateful
 // values (adversary behaviors with internal state, closure-based delay
@@ -32,19 +38,24 @@ func Sweep(mk func(seed int64) Scenario, seeds []int64) ([]*Result, error) {
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var failures []error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			failures = append(failures, fmt.Errorf("seed %d: %w", seeds[i], err))
 		}
 	}
-	return results, nil
+	return results, errors.Join(failures...)
 }
 
 // WorstDeviation returns the result with the largest measured deviation —
-// the conservative representative of a sweep.
+// the conservative representative of a sweep. Nil results (failed seeds in
+// a partial sweep) are skipped.
 func WorstDeviation(results []*Result) *Result {
 	var worst *Result
 	for _, r := range results {
+		if r == nil {
+			continue
+		}
 		if worst == nil || r.Report.MaxDeviation > worst.Report.MaxDeviation {
 			worst = r
 		}

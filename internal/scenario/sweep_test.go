@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"strings"
 	"testing"
 
 	"clocksync/internal/simtime"
@@ -75,7 +76,44 @@ func TestSweepPropagatesErrors(t *testing.T) {
 		}
 		return s
 	}
-	if _, err := Sweep(mk, []int64{1, 2}); err == nil {
+	results, err := Sweep(mk, []int64{1, 2})
+	if err == nil {
 		t.Fatal("sweep swallowed an error")
+	}
+	if !strings.Contains(err.Error(), "seed 2") {
+		t.Errorf("error does not name the failed seed: %v", err)
+	}
+	// Partial results: the good seed's result survives, the bad one is nil.
+	if len(results) != 2 {
+		t.Fatalf("got %d result slots, want 2", len(results))
+	}
+	if results[0] == nil {
+		t.Error("successful seed's result discarded")
+	}
+	if results[1] != nil {
+		t.Error("failed seed produced a result")
+	}
+	if worst := WorstDeviation(results); worst != results[0] {
+		t.Error("WorstDeviation mishandles nil slots")
+	}
+}
+
+func TestSweepAllSeedsFail(t *testing.T) {
+	mk := func(int64) Scenario {
+		s := baseScenario()
+		s.N = 0
+		return s
+	}
+	results, err := Sweep(mk, []int64{1, 2, 3})
+	if err == nil {
+		t.Fatal("sweep swallowed errors")
+	}
+	for _, want := range []string{"seed 1", "seed 2", "seed 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+	if WorstDeviation(results) != nil {
+		t.Error("WorstDeviation invented a result from all-nil input")
 	}
 }

@@ -20,6 +20,12 @@ type Summary struct {
 	Corruptions []CorruptionSpan
 	Deviation   stats.Summary // good-set deviation over samples
 	Samples     int
+	// ByKind tallies every event kind, including kinds this package does
+	// not interpret (observability streams add e.g. "round" and "timeout").
+	ByKind map[string]int
+	// Rounds aggregates "round" events from observability streams: the
+	// per-round convergence adjustment distribution.
+	RoundDelta stats.Summary
 }
 
 // NodeSummary is one processor's view of the trace.
@@ -40,10 +46,11 @@ type CorruptionSpan struct {
 
 // Summarize analyzes a parsed trace.
 func Summarize(events []Event) Summary {
-	s := Summary{Events: len(events)}
+	s := Summary{Events: len(events), ByKind: map[string]int{}}
 	if len(events) == 0 {
 		return s
 	}
+	var roundDeltas []float64
 	minAt, maxAt := events[0].At, events[0].At
 	maxNode := -1
 	var adjustAbs []float64
@@ -64,6 +71,17 @@ func Summarize(events []Event) Summary {
 		}
 		if e.At > maxAt {
 			maxAt = e.At
+		}
+		s.ByKind[string(e.Kind)]++
+		if e.Kind == "round" {
+			d := e.Field("delta")
+			if d < 0 {
+				d = -d
+			}
+			roundDeltas = append(roundDeltas, d)
+			if e.Node > maxNode {
+				maxNode = e.Node
+			}
 		}
 		switch e.Kind {
 		case KindAdjust:
@@ -117,6 +135,7 @@ func Summarize(events []Event) Summary {
 	s.Nodes = maxNode + 1
 	s.AdjustAbs = stats.Summarize(adjustAbs)
 	s.Deviation = stats.Summarize(deviations)
+	s.RoundDelta = stats.Summarize(roundDeltas)
 	for id := 0; id <= maxNode; id++ {
 		if ns := perNode[id]; ns != nil {
 			s.PerNode = append(s.PerNode, *ns)
@@ -131,8 +150,24 @@ func Summarize(events []Event) Summary {
 func (s Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace: %d events over %.1fs, %d nodes\n", s.Events, s.Span, s.Nodes)
+	if len(s.ByKind) > 0 {
+		kinds := make([]string, 0, len(s.ByKind))
+		for k := range s.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, 0, len(kinds))
+		for _, k := range kinds {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, s.ByKind[k]))
+		}
+		fmt.Fprintf(&b, "kinds: %s\n", strings.Join(parts, " "))
+	}
 	fmt.Fprintf(&b, "adjustments: %d total, |Δ| mean %.4gs p99 %.4gs max %.4gs\n",
 		s.Adjusts, s.AdjustAbs.Mean, s.AdjustAbs.P99, s.AdjustAbs.Max)
+	if n := s.ByKind["round"]; n > 0 {
+		fmt.Fprintf(&b, "rounds: %d, |Δ| mean %.4gs p99 %.4gs max %.4gs\n",
+			n, s.RoundDelta.Mean, s.RoundDelta.P99, s.RoundDelta.Max)
+	}
 	if s.Samples > 0 {
 		fmt.Fprintf(&b, "deviation: %d samples, mean %.4gs p99 %.4gs max %.4gs\n",
 			s.Samples, s.Deviation.Mean, s.Deviation.P99, s.Deviation.Max)

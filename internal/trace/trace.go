@@ -27,16 +27,22 @@ const (
 
 // Event is one trace record. Fields are used according to Kind:
 // Adjust uses Node and Delta; Corrupt/Release use Node; Sample uses Biases
-// and Deviation; Note uses Text.
+// and Deviation; Note uses Text. Events from the obs package (syncsim
+// -trace-out) carry their numeric payload in Fields and may use kinds beyond
+// the constants above; Summarize tallies unknown kinds generically.
 type Event struct {
-	At        float64   `json:"at"`
-	Kind      Kind      `json:"kind"`
-	Node      int       `json:"node,omitempty"`
-	Delta     float64   `json:"delta,omitempty"`
-	Biases    []float64 `json:"biases,omitempty"`
-	Deviation float64   `json:"deviation,omitempty"`
-	Text      string    `json:"text,omitempty"`
+	At        float64            `json:"at"`
+	Kind      Kind               `json:"kind"`
+	Node      int                `json:"node,omitempty"`
+	Delta     float64            `json:"delta,omitempty"`
+	Biases    []float64          `json:"biases,omitempty"`
+	Deviation float64            `json:"deviation,omitempty"`
+	Text      string             `json:"text,omitempty"`
+	Fields    map[string]float64 `json:"fields,omitempty"`
 }
+
+// Field returns the named value from Fields (0 when absent).
+func (e Event) Field(name string) float64 { return e.Fields[name] }
 
 // Tracer serializes events to a writer. It buffers internally; call Flush
 // (or Close) when the run finishes.
