@@ -83,3 +83,46 @@ func TestSweepExported(t *testing.T) {
 		t.Fatal("WorstDeviation returned nil for a successful sweep")
 	}
 }
+
+// TestRunScenarioWithCheck checks the invariant-checker option: an honest
+// small run must report zero violations, and Violations must be non-nil so
+// callers can distinguish "checked and clean" from "not checked".
+func TestRunScenarioWithCheck(t *testing.T) {
+	s := smallScenario()
+	res, err := clocksync.RunScenario(s, clocksync.WithCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Check {
+		t.Error("WithCheck mutated the caller's Scenario")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("honest run violated %s: %s", v.Invariant, v)
+	}
+}
+
+// TestRunCampaignExported checks the campaign surface end to end: a small
+// honest campaign completes clean, and the exported invariant names match
+// what violations would carry.
+func TestRunCampaignExported(t *testing.T) {
+	res, err := clocksync.RunCampaign(clocksync.CampaignConfig{
+		Runs: 4, Seed: 1, Duration: 10 * clocksync.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4 {
+		t.Fatalf("completed %d of 4 runs", res.Completed)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("honest campaign failed: %+v", res.Failures[0].Violations)
+	}
+	for _, name := range []string{
+		clocksync.InvariantDeviation, clocksync.InvariantStep,
+		clocksync.InvariantAccuracy, clocksync.InvariantRecovery,
+	} {
+		if name == "" {
+			t.Error("empty invariant name in the public API")
+		}
+	}
+}

@@ -9,7 +9,7 @@
 // Corrupted processors recover automatically after release, without any
 // fault or recovery detection.
 //
-// This file is the package's entire public surface, organized in four
+// This file is the package's entire public surface, organized in five
 // sections:
 //
 //   - Analysis: the closed-form Theorem 5 calculator (Params, Derive,
@@ -17,6 +17,9 @@
 //   - Simulation: deterministic discrete-event experiments (Scenario,
 //     RunScenario, Sweep) with adversary schedules, behaviors, topologies
 //     and delay models.
+//   - Checking & campaigns: the online Theorem 5 invariant checker
+//     (WithCheck, Violation) and randomized adversary campaigns with
+//     failure shrinking (RunCampaign, CampaignConfig).
 //   - Observability: the event stream and counter types shared by the
 //     simulator and the live node (Observer, Event, Ring, JSONL), attached
 //     to a run with RunScenario options.
@@ -35,6 +38,8 @@ import (
 
 	"clocksync/internal/adversary"
 	"clocksync/internal/analysis"
+	"clocksync/internal/campaign"
+	"clocksync/internal/check"
 	"clocksync/internal/livenet"
 	"clocksync/internal/metrics"
 	"clocksync/internal/network"
@@ -239,6 +244,62 @@ type (
 	// Starter is a protocol node ready to run.
 	Starter = scenario.Starter
 )
+
+// ---------------------------------------------------------------------------
+// Checking & campaigns — machine-checked Theorem 5 invariants
+// ---------------------------------------------------------------------------
+
+// Violation is one invariant breach recorded by the online checker: the
+// simulated instant, the processor concerned (−1 for whole-good-set
+// properties), the invariant name, and the observed value against the bound
+// it broke. Runs surface them in Result.Violations.
+type Violation = check.Violation
+
+// Invariants the online checker asserts (Violation.Invariant values).
+const (
+	// InvariantDeviation is Theorem 5(i): good-set deviation ≤ Δ.
+	InvariantDeviation = check.InvariantDeviation
+	// InvariantStep bounds any single adjustment of a good processor by
+	// Δ/2 + ε.
+	InvariantStep = check.InvariantStep
+	// InvariantAccuracy is the Equation 3 rate envelope over good stretches.
+	InvariantAccuracy = check.InvariantAccuracy
+	// InvariantRecovery is the Lemma 7(iii) distance-halving schedule after
+	// release.
+	InvariantRecovery = check.InvariantRecovery
+)
+
+// WithCheck attaches the online invariant checker to the run: every Sync
+// round is asserted against the Theorem 5 deviation envelope, the per-step
+// discontinuity bound and the accuracy envelope, and every release against
+// the Lemma 7(iii) halving schedule. Violations appear in Result.Violations;
+// the run itself is not interrupted.
+func WithCheck() RunOption {
+	return func(s *Scenario) { s.Check = true }
+}
+
+// Campaign types: randomized adversary campaigns run thousands of seeded
+// simulations, each with a generated f-limited corruption schedule and a
+// random delay model, all checked online.
+type (
+	// CampaignConfig parameterizes a campaign; its zero value (plus Runs) is
+	// a LAN-like 7-processor, f=2 setup.
+	CampaignConfig = campaign.Config
+	// CampaignResult summarizes a campaign: completed runs and failures.
+	CampaignResult = campaign.Result
+	// CampaignFailure is one failing run: its seed, schedule and violations.
+	CampaignFailure = campaign.Failure
+	// ShrinkResult is a minimized failing schedule.
+	ShrinkResult = campaign.ShrinkResult
+)
+
+// RunCampaign executes a randomized adversary campaign across cores. Any
+// invariant violations are reported per failing seed in the result;
+// CampaignConfig.Shrink minimizes a failing schedule to a smallest
+// reproducer.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return campaign.Run(cfg)
+}
 
 // ---------------------------------------------------------------------------
 // Observability — events, counters, sinks

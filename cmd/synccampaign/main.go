@@ -1,0 +1,159 @@
+// Command synccampaign runs a randomized adversary campaign: thousands of
+// seeded simulations, each with a generated f-limited corruption schedule
+// and a random delay model, every one checked online against the Theorem 5
+// bounds. It exits non-zero if any run violates an invariant, prints each
+// failing seed with its first violations, and can shrink failures to minimal
+// reproducers.
+//
+// Usage examples:
+//
+//	synccampaign -runs 1000 -seed 1
+//	synccampaign -runs 200 -seed 1 -shrink -jsonl violations.jsonl
+//	synccampaign -runs 50 -mutate -shrink   # loosened protocol: violations expected
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"clocksync/internal/campaign"
+	"clocksync/internal/check"
+	"clocksync/internal/core"
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "synccampaign:", err)
+		os.Exit(1)
+	}
+}
+
+// violationRecord is one JSONL line: the violation plus the seed that
+// produced it, enough to replay with -runs 1 -seed <seed>.
+type violationRecord struct {
+	Seed int64 `json:"seed"`
+	check.Violation
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("synccampaign", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		runs     = fs.Int("runs", 100, "number of simulations")
+		seed     = fs.Int64("seed", 1, "base seed; run i uses seed+i")
+		n        = fs.Int("n", 7, "number of processors")
+		f        = fs.Int("f", 2, "per-period fault budget (n ≥ 3f+1)")
+		duration = fs.Duration("duration", 30*time.Minute, "simulated real time per run")
+		theta    = fs.Duration("theta", 5*time.Minute, "adversary period Θ")
+		delta    = fs.Duration("delta", 50*time.Millisecond, "message delay bound δ")
+		syncInt  = fs.Duration("syncint", 10*time.Second, "local time between Syncs")
+		rho      = fs.Float64("rho", 1e-4, "hardware drift bound ρ")
+		drop     = fs.Float64("drop", 0, "max message drop probability (out-of-model; drawn per run)")
+		corrupts = fs.Int("corruptions", 4, "max corruptions per generated schedule")
+		workers  = fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		shrink   = fs.Bool("shrink", false, "minimize each failing schedule to a smallest reproducer")
+		mutate   = fs.Bool("mutate", false, "loosen the convergence function (no trimming); violations are expected — a checker self-test")
+		jsonlOut = fs.String("jsonl", "", "append one JSON line per violation to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := campaign.Config{
+		N:              *n,
+		F:              *f,
+		Runs:           *runs,
+		Seed:           *seed,
+		Duration:       simtime.Duration((*duration).Seconds()),
+		Theta:          simtime.Duration((*theta).Seconds()),
+		Delta:          simtime.Duration((*delta).Seconds()),
+		SyncInt:        simtime.Duration((*syncInt).Seconds()),
+		Rho:            *rho,
+		DropProb:       *drop,
+		MaxCorruptions: *corrupts,
+		Workers:        *workers,
+	}
+	if *mutate {
+		cfg.Mutate = func(c *core.Config, _ scenario.BuildContext) { c.F = 0 }
+	}
+
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(stdout, "campaign          %d runs (n=%d, f=%d, base seed %d) in %v\n",
+		res.Runs, *n, *f, *seed, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "checked           deviation Δ, discontinuity, accuracy, recovery halving\n")
+	fmt.Fprintf(stdout, "result            %d completed, %d failing seeds, %d violations\n",
+		res.Completed, len(res.Failures), res.TotalViolations)
+
+	if *jsonlOut != "" && len(res.Failures) > 0 {
+		if err := writeJSONL(*jsonlOut, res.Failures); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "violations        appended to %s\n", *jsonlOut)
+	}
+
+	for _, fail := range res.Failures {
+		fmt.Fprintf(stdout, "\nseed %d: %d violations under %d corruptions\n",
+			fail.Seed, len(fail.Violations), len(fail.Schedule.Corruptions))
+		printViolations(stdout, fail.Violations, 3)
+		if *shrink {
+			sr := cfg.Shrink(fail.Seed, fail.Schedule, 0)
+			if len(sr.Violations) == 0 {
+				fmt.Fprintf(stdout, "  shrink: did not reproduce within %d runs\n", sr.Runs)
+				continue
+			}
+			fmt.Fprintf(stdout, "  shrunk to %d corruptions in %d runs:\n",
+				len(sr.Schedule.Corruptions), sr.Runs)
+			for _, c := range sr.Schedule.Corruptions {
+				fmt.Fprintf(stdout, "    node %d [%v, %v] %#v\n", c.Node, c.From, c.To, c.Behavior)
+			}
+			printViolations(stdout, sr.Violations, 3)
+		}
+	}
+
+	if res.TotalViolations > 0 {
+		return fmt.Errorf("%d invariant violations across %d failing seeds", res.TotalViolations, len(res.Failures))
+	}
+	return nil
+}
+
+// printViolations prints up to limit violations, then an ellipsis.
+func printViolations(w io.Writer, vs []check.Violation, limit int) {
+	for i, v := range vs {
+		if i == limit {
+			fmt.Fprintf(w, "  … %d more\n", len(vs)-limit)
+			return
+		}
+		fmt.Fprintf(w, "  τ=%v node=%d %s: observed %v > bound %v (%s)\n",
+			v.At, v.Node, v.Invariant, v.Observed, v.Bound, v.Detail)
+	}
+}
+
+// writeJSONL appends one record per violation to path.
+func writeJSONL(path string, failures []campaign.Failure) error {
+	fh, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	enc := json.NewEncoder(fh)
+	for _, f := range failures {
+		for _, v := range f.Violations {
+			if err := enc.Encode(violationRecord{Seed: f.Seed, Violation: v}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

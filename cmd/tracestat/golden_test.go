@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden summary:
+//
+//	go test ./cmd/tracestat -run TestSummaryGolden -update
+var update = flag.Bool("update", false, "rewrite the golden tracestat summary from current output")
+
+// TestSummaryGolden locks the exact human-facing summary format: any change
+// to trace.Summarize or its String rendering shows up as a diff against
+// testdata/summary.golden instead of silently reshaping what operators (and
+// scripts scraping the output) see.
+func TestSummaryGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{filepath.Join("testdata", "sample.jsonl")}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "summary.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("summary differs from golden (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			out.Bytes(), want)
+	}
+}

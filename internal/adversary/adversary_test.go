@@ -304,3 +304,98 @@ func TestBehaviors(t *testing.T) {
 		t.Fatal("Honest must report the true clock")
 	}
 }
+
+// TestValidateEdgeCases pins the boundary semantics of the Definition 2
+// check in one table: extended Θ-windows that exactly touch count as
+// overlapping (conservative), per-node back-to-back intervals are legal
+// while true overlaps are not, exactly f simultaneous processors pass where
+// f+1 fail, and the empty schedule is universally valid.
+func TestValidateEdgeCases(t *testing.T) {
+	const theta = simtime.Duration(100)
+	cases := []struct {
+		name    string
+		sched   Schedule
+		n, f    int
+		wantErr string // substring of the expected error; "" means valid
+	}{
+		{
+			name:  "empty schedule valid even with f=0",
+			sched: Schedule{},
+			n:     4, f: 0,
+		},
+		{
+			// Node 0's window influence ends at To=20; node 1's begins at
+			// From−Θ = 20. The τ=20 window sees both — reject at exact touch.
+			name: "touching theta windows count as overlap",
+			sched: Schedule{Corruptions: []Corruption{
+				{Node: 0, From: 10, To: 20, Behavior: Crash{}},
+				{Node: 1, From: 120, To: 130, Behavior: Crash{}},
+			}},
+			n: 4, f: 1,
+			wantErr: "not 1-limited",
+		},
+		{
+			// One nanosecond of separation and no window sees both.
+			name: "just past touching is valid",
+			sched: Schedule{Corruptions: []Corruption{
+				{Node: 0, From: 10, To: 20, Behavior: Crash{}},
+				{Node: 1, From: 120.000000001, To: 130, Behavior: Crash{}},
+			}},
+			n: 4, f: 1,
+		},
+		{
+			name: "per-node overlapping corruptions rejected",
+			sched: Schedule{Corruptions: []Corruption{
+				{Node: 2, From: 10, To: 20, Behavior: Crash{}},
+				{Node: 2, From: 15, To: 25, Behavior: Crash{}},
+			}},
+			n: 4, f: 2,
+			wantErr: "overlapping corruptions of node 2",
+		},
+		{
+			// [10,20) and [20,30) share only the instant 20, which [From,To)
+			// excludes from the first — legal, and merged into one window.
+			name: "per-node back-to-back intervals valid",
+			sched: Schedule{Corruptions: []Corruption{
+				{Node: 2, From: 10, To: 20, Behavior: Crash{}},
+				{Node: 2, From: 20, To: 30, Behavior: Crash{}},
+			}},
+			n: 4, f: 1,
+		},
+		{
+			name: "exactly f simultaneous processors valid",
+			sched: Schedule{Corruptions: []Corruption{
+				{Node: 0, From: 10, To: 20, Behavior: Crash{}},
+				{Node: 1, From: 10, To: 20, Behavior: Crash{}},
+			}},
+			n: 7, f: 2,
+		},
+		{
+			name: "f+1 simultaneous processors rejected",
+			sched: Schedule{Corruptions: []Corruption{
+				{Node: 0, From: 10, To: 20, Behavior: Crash{}},
+				{Node: 1, From: 10, To: 20, Behavior: Crash{}},
+				{Node: 2, From: 10, To: 20, Behavior: Crash{}},
+			}},
+			n: 7, f: 2,
+			wantErr: "not 2-limited",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sched.Validate(tc.n, tc.f, theta)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid schedule rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid schedule accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"clocksync/internal/scenario"
+)
+
+// Every generated schedule must satisfy Definition 2 for the campaign's
+// (n, f, Θ) — validity is promised by construction, so a single failing seed
+// is a generator bug, not bad luck.
+func TestGeneratedSchedulesValid(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	for seed := int64(0); seed < 500; seed++ {
+		s := cfg.Scenario(seed)
+		if err := s.Adversary.Validate(cfg.N, cfg.F, cfg.Theta); err != nil {
+			t.Fatalf("seed %d: generated schedule invalid: %v", seed, err)
+		}
+		if got := len(s.Adversary.Corruptions); got > cfg.MaxCorruptions {
+			t.Fatalf("seed %d: %d corruptions > cap %d", seed, got, cfg.MaxCorruptions)
+		}
+		if b := s.Delay.Bound(); b > cfg.Delta {
+			t.Fatalf("seed %d: delay bound %v exceeds δ=%v", seed, b, cfg.Delta)
+		}
+		for _, c := range s.Adversary.Corruptions {
+			if c.From < 0 || float64(c.To) > float64(s.Duration) {
+				t.Fatalf("seed %d: corruption [%v, %v] outside the run", seed, c.From, c.To)
+			}
+		}
+	}
+}
+
+// The generator is a pure function of the seed: replaying a seed (as the
+// shrinker and the -seed flag do) must reproduce the identical scenario.
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := cfg.Scenario(seed), cfg.Scenario(seed)
+		if !reflect.DeepEqual(a.Adversary, b.Adversary) {
+			t.Fatalf("seed %d: schedules differ between generations", seed)
+		}
+		if !reflect.DeepEqual(a.Delay, b.Delay) {
+			t.Fatalf("seed %d: delay models differ between generations", seed)
+		}
+		if a.DropProb != b.DropProb || a.InitSpread != b.InitSpread {
+			t.Fatalf("seed %d: drawn scalars differ between generations", seed)
+		}
+	}
+}
+
+// The generator must produce scenarios scenario.Run accepts and the checker
+// must stay silent on the honest protocol: Theorem 5 holds, so any violation
+// here is a checker (or simulator) bug.
+func TestHonestCampaignClean(t *testing.T) {
+	runs := 64
+	if testing.Short() {
+		runs = 16
+	}
+	res, err := Run(Config{Runs: runs, Seed: 1})
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if res.Completed != runs {
+		t.Fatalf("completed %d of %d runs", res.Completed, runs)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("seed %d: %d violations on the honest protocol; first: %s",
+			f.Seed, len(f.Violations), f.Violations[0])
+	}
+}
+
+// Batching across Sweep waves must preserve per-seed accounting even when
+// Runs is not a multiple of Workers.
+func TestRunBatchesUnevenly(t *testing.T) {
+	res, err := Run(Config{Runs: 5, Seed: 100, Workers: 2,
+		Duration: 600, MaxCorruptions: 1})
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if res.Runs != 5 || res.Completed != 5 {
+		t.Fatalf("requested/completed = %d/%d, want 5/5", res.Runs, res.Completed)
+	}
+}
+
+// A scenario built by the generator must also run standalone — the replay
+// path users follow when a campaign points at a seed.
+func TestScenarioReplaysStandalone(t *testing.T) {
+	cfg := Config{Duration: 900}.withDefaults()
+	s := cfg.Scenario(3)
+	if !s.Check {
+		t.Fatal("generated scenario does not attach the checker")
+	}
+	res, err := scenario.Run(s)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("honest replay violated an invariant: %s", v)
+	}
+}

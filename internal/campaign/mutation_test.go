@@ -1,0 +1,55 @@
+package campaign
+
+import (
+	"testing"
+
+	"clocksync/internal/core"
+	"clocksync/internal/scenario"
+)
+
+// loosenTrimming removes the convergence function's fault-tolerant trimming
+// (FTA with f = 0 averages raw estimates), the classic "subtle protocol bug"
+// the checker exists to catch: Byzantine estimates then drag good clocks
+// arbitrarily far.
+func loosenTrimming(c *core.Config, _ scenario.BuildContext) { c.F = 0 }
+
+// The mutation smoke test proves the checker has teeth: a campaign over the
+// deliberately loosened protocol must produce violations, and the shrinker
+// must reduce a failing schedule to at most two corruptions that still fail.
+func TestMutatedProtocolCaughtAndShrunk(t *testing.T) {
+	cfg := Config{Runs: 16, Seed: 1, Mutate: loosenTrimming}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("loosened convergence function produced no violations — the checker is toothless")
+	}
+
+	f := res.Failures[0]
+	sr := cfg.Shrink(f.Seed, f.Schedule, 100)
+	if len(sr.Violations) == 0 {
+		t.Fatalf("seed %d: shrinker lost the failure (%d runs spent)", f.Seed, sr.Runs)
+	}
+	if got := len(sr.Schedule.Corruptions); got > 2 {
+		t.Errorf("seed %d: shrunk to %d corruptions, want ≤ 2", f.Seed, got)
+	}
+	if len(sr.Schedule.Corruptions) > len(f.Schedule.Corruptions) {
+		t.Errorf("shrinker grew the schedule: %d → %d corruptions",
+			len(f.Schedule.Corruptions), len(sr.Schedule.Corruptions))
+	}
+}
+
+// Shrinking a schedule that never failed must report non-reproduction
+// instead of inventing a failure.
+func TestShrinkNonFailureReportsClean(t *testing.T) {
+	cfg := Config{Duration: 600}
+	s := cfg.withDefaults().Scenario(1)
+	sr := cfg.Shrink(1, s.Adversary, 10)
+	if len(sr.Violations) != 0 {
+		t.Fatalf("honest run shrunk to a 'failure': %v", sr.Violations)
+	}
+	if sr.Runs != 1 {
+		t.Fatalf("non-reproducing shrink spent %d runs, want 1", sr.Runs)
+	}
+}

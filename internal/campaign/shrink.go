@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"math"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/check"
+	"clocksync/internal/scenario"
+	"clocksync/internal/simtime"
+)
+
+// ShrinkResult is a minimized failing schedule.
+type ShrinkResult struct {
+	// Schedule is the smallest still-failing schedule found.
+	Schedule adversary.Schedule
+	// Violations is what the checker reported on the final schedule (empty
+	// when the original schedule did not reproduce within the run budget).
+	Violations []check.Violation
+	// Runs is how many simulations the shrinker spent.
+	Runs int
+}
+
+// Shrink minimizes a failing run's corruption schedule to a smallest
+// reproducer: it replays the exact scenario of the seed (same delay model,
+// drop rate and initial spread — the generator draws those before the
+// schedule) with candidate schedules that are always subsets/subintervals of
+// the original, so f-limitedness is preserved. Three reductions run to a
+// fixpoint: drop whole corruptions, halve corruption dwells (floored at one
+// SyncInt), and round From/To inward to whole seconds. maxRuns caps the
+// simulation budget (≤ 0 means 200).
+func (c Config) Shrink(seed int64, sched adversary.Schedule, maxRuns int) ShrinkResult {
+	c = c.withDefaults()
+	if maxRuns <= 0 {
+		maxRuns = 200
+	}
+	runs := 0
+	// failing replays the seed's scenario under a candidate schedule and
+	// returns its violations (nil once the budget is spent or on error).
+	failing := func(s adversary.Schedule) []check.Violation {
+		if runs >= maxRuns {
+			return nil
+		}
+		runs++
+		sc := c.Scenario(seed)
+		sc.Adversary = s
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return nil
+		}
+		return res.Violations
+	}
+
+	best := cloneSchedule(sched)
+	bestViol := failing(best)
+	if len(bestViol) == 0 {
+		return ShrinkResult{Schedule: best, Runs: runs}
+	}
+
+	for improved := true; improved && runs < maxRuns; {
+		improved = false
+
+		// Drop corruptions one at a time; on success restart at the same
+		// index (the slice shifted down).
+		for i := 0; i < len(best.Corruptions) && runs < maxRuns; {
+			cand := cloneSchedule(best)
+			cand.Corruptions = append(cand.Corruptions[:i], cand.Corruptions[i+1:]...)
+			if v := failing(cand); len(v) > 0 {
+				best, bestViol = cand, v
+				improved = true
+			} else {
+				i++
+			}
+		}
+
+		// Halve dwells, floored at one SyncInt (shorter and the node never
+		// even attempts a Sync while corrupted).
+		for i := range best.Corruptions {
+			if runs >= maxRuns {
+				break
+			}
+			cor := best.Corruptions[i]
+			dwell := cor.To.Sub(cor.From)
+			if dwell <= c.SyncInt {
+				continue
+			}
+			half := simtime.MaxDuration(dwell/2, c.SyncInt)
+			cand := cloneSchedule(best)
+			cand.Corruptions[i].To = cor.From.Add(half)
+			if v := failing(cand); len(v) > 0 {
+				best, bestViol = cand, v
+				improved = true
+			}
+		}
+
+		// Round interval endpoints inward to whole seconds for a readable
+		// reproducer.
+		for i := range best.Corruptions {
+			if runs >= maxRuns {
+				break
+			}
+			cor := best.Corruptions[i]
+			from := simtime.Time(math.Ceil(float64(cor.From)))
+			to := simtime.Time(math.Floor(float64(cor.To)))
+			if to <= from || (from == cor.From && to == cor.To) {
+				continue
+			}
+			cand := cloneSchedule(best)
+			cand.Corruptions[i].From, cand.Corruptions[i].To = from, to
+			if v := failing(cand); len(v) > 0 {
+				best, bestViol = cand, v
+				improved = true
+			}
+		}
+	}
+	return ShrinkResult{Schedule: best, Violations: bestViol, Runs: runs}
+}
+
+// cloneSchedule copies the corruption slice so candidate edits never alias
+// the schedule they were derived from. Behavior values are shared — the
+// shrinker runs simulations one at a time, so stateful behaviors cannot
+// race.
+func cloneSchedule(s adversary.Schedule) adversary.Schedule {
+	out := adversary.Schedule{Corruptions: make([]adversary.Corruption, len(s.Corruptions))}
+	copy(out.Corruptions, s.Corruptions)
+	return out
+}

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/network"
+	"clocksync/internal/obs"
+	"clocksync/internal/simtime"
+)
+
+// The simulator promises bit-for-bit reproducibility: the same seed must
+// yield the same event sequence, byte for byte, across two independent runs.
+// Shrinking, replay-by-seed and CI triage all rest on this.
+func TestRunDeterministicEventStream(t *testing.T) {
+	capture := func() []byte {
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf)
+		s := baseScenario()
+		s.Delay = network.SpikyDelay{
+			Base:      network.NewUniformDelay(5*simtime.Millisecond, 25*simtime.Millisecond),
+			SpikeProb: 0.05,
+			SpikeMax:  25 * simtime.Millisecond,
+		}
+		s.DropProb = 0.01
+		s.Adversary = adversary.Schedule{Corruptions: []adversary.Corruption{
+			{Node: 3, From: 320, To: 360,
+				Behavior: adversary.RandomLiar{Amplitude: simtime.Second}},
+		}}
+		s.EventSink = sink
+		s.Check = true
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("honest run violated an invariant: %s", v)
+		}
+		return buf.Bytes()
+	}
+
+	first := capture()
+	second := capture()
+	if len(first) == 0 {
+		t.Fatal("run emitted no events")
+	}
+	if !bytes.Equal(first, second) {
+		i := 0
+		for i < len(first) && i < len(second) && first[i] == second[i] {
+			i++
+		}
+		t.Fatalf("event streams diverge at byte %d of %d/%d", i, len(first), len(second))
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"clocksync/internal/adversary"
 	"clocksync/internal/analysis"
+	"clocksync/internal/check"
 	"clocksync/internal/clock"
 	"clocksync/internal/core"
 	"clocksync/internal/des"
@@ -109,6 +110,15 @@ type Scenario struct {
 	// Observer is nil) — the convenience path for "just give me the events".
 	Observer  *obs.Observer
 	EventSink obs.Sink
+
+	// Check attaches the online invariant checker (internal/check) to the
+	// run: every Sync round is asserted against the Theorem 5 deviation
+	// envelope, the per-step discontinuity bound and the Equation 3 accuracy
+	// envelope, and every release against the Lemma 7(iii) halving schedule.
+	// Violations are surfaced in Result.Violations; the run itself is not
+	// interrupted. CheckSlack multiplies every checked bound (0 means exact).
+	Check      bool
+	CheckSlack float64
 }
 
 // Result is what a run produces.
@@ -129,6 +139,9 @@ type Result struct {
 	EventCounts map[string]int64
 	// Sim is the simulator after the run (for follow-up measurement).
 	Sim *des.Sim
+	// Violations lists every invariant breach the online checker recorded
+	// (nil when the scenario did not set Check).
+	Violations []check.Violation
 }
 
 // Params assembles the analysis parameters for the scenario, applying
@@ -243,6 +256,15 @@ func Run(s Scenario) (*Result, error) {
 		harnesses[i] = protocol.NewHarness(i, sim, net, clocks[i])
 	}
 
+	// Warm-up horizon: the guarantees assume a synchronized start; with a
+	// scattered InitSpread the cluster needs ~log2(spread/ε) Syncs to
+	// converge before steady-state statistics (and invariants) apply.
+	warmSyncs := 3.0
+	if s.InitSpread > bounds.Eps && bounds.Eps > 0 {
+		warmSyncs += math.Ceil(math.Log2(float64(s.InitSpread) / float64(bounds.Eps)))
+	}
+	skipBefore := simtime.Time(warmSyncs * float64(s.SyncInt))
+
 	rec := metrics.NewRecorder(sim, clocks, s.Adversary, s.Theta)
 	// Sample at adjustment instants too: discontinuous bias changes happen
 	// exactly there, so periodic sampling alone could under-report the
@@ -266,6 +288,22 @@ func Run(s Scenario) (*Result, error) {
 			observer = obs.NewObserver()
 		}
 		observer.AddSink(s.EventSink)
+	}
+	var checker *check.Checker
+	if s.Check {
+		if observer == nil {
+			observer = obs.NewObserver()
+		}
+		checker = check.New(check.Config{
+			Clocks:     clocks,
+			Schedule:   s.Adversary,
+			Bounds:     bounds,
+			Theta:      s.Theta,
+			SkipBefore: skipBefore,
+			Slack:      s.CheckSlack,
+		})
+		observer.AddSink(checker)
+		checker.Attach(sim)
 	}
 	res.Obs = observer
 
@@ -331,15 +369,11 @@ func Run(s Scenario) (*Result, error) {
 			return nil, fmt.Errorf("scenario %q: writing trace: %w", s.Name, err)
 		}
 	}
-	// Warm-up: the guarantees assume a synchronized start; with a scattered
-	// InitSpread the cluster needs ~log2(spread/ε) Syncs to converge before
-	// steady-state statistics are meaningful.
-	warmSyncs := 3.0
-	if s.InitSpread > bounds.Eps && bounds.Eps > 0 {
-		warmSyncs += math.Ceil(math.Log2(float64(s.InitSpread) / float64(bounds.Eps)))
+	if checker != nil {
+		res.Violations = checker.Violations()
 	}
 	res.Report = rec.BuildReport(metrics.ReportOptions{
-		SkipBefore:        simtime.Time(warmSyncs * float64(s.SyncInt)),
+		SkipBefore:        skipBefore,
 		RecoveryMargin:    bounds.MaxDeviation,
 		MinRateWindow:     simtime.MaxDuration(10*s.SyncInt, simtime.Duration(float64(s.Duration)/10)),
 		LogicalDriftBound: bounds.LogicalDrift,

@@ -117,3 +117,57 @@ func TestSweepAllSeedsFail(t *testing.T) {
 		t.Error("WorstDeviation invented a result from all-nil input")
 	}
 }
+
+// TestSweepMidFailureOrderingAndJoin pins the documented partial-failure
+// contract precisely: failing seeds in the *middle* of a sweep leave nil
+// slots at exactly their indices (order preserved around them), and the
+// returned error is an errors.Join whose unwrapped parts name exactly the
+// failed seeds, in seed order.
+func TestSweepMidFailureOrderingAndJoin(t *testing.T) {
+	seeds := []int64{10, 11, 12, 13, 14}
+	bad := map[int64]bool{11: true, 13: true}
+	mk := func(seed int64) Scenario {
+		s := baseScenario()
+		s.Duration = 2 * simtime.Minute
+		if bad[seed] {
+			s.N = 0 // fails validation inside Run
+		}
+		return s
+	}
+	results, err := Sweep(mk, seeds)
+	if err == nil {
+		t.Fatal("sweep swallowed mid-sweep failures")
+	}
+	if len(results) != len(seeds) {
+		t.Fatalf("got %d slots, want %d", len(results), len(seeds))
+	}
+	for i, seed := range seeds {
+		if bad[seed] {
+			if results[i] != nil {
+				t.Errorf("slot %d (failed seed %d) non-nil", i, seed)
+			}
+			continue
+		}
+		if results[i] == nil {
+			t.Errorf("slot %d (good seed %d) is nil", i, seed)
+			continue
+		}
+		if got := results[i].Scenario.Seed; got != seed {
+			t.Errorf("slot %d holds seed %d, want %d — ordering broken", i, got, seed)
+		}
+	}
+
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("sweep error is not an errors.Join: %T", err)
+	}
+	parts := joined.Unwrap()
+	if len(parts) != 2 {
+		t.Fatalf("joined error has %d parts, want 2: %v", len(parts), err)
+	}
+	for i, want := range []string{"seed 11", "seed 13"} {
+		if !strings.Contains(parts[i].Error(), want) {
+			t.Errorf("part %d = %q, want mention of %q", i, parts[i], want)
+		}
+	}
+}
