@@ -56,6 +56,52 @@ func TestRunScenarioOptions(t *testing.T) {
 	}
 }
 
+// TestRunScenarioWithSpanSink exercises the causal-tracing surface: a run
+// with a span sink produces a round span tree whose estimate and adjust
+// spans parent back to round spans, and quantiles come out of the shared
+// histogram layout.
+func TestRunScenarioWithSpanSink(t *testing.T) {
+	s := smallScenario()
+	ring := clocksync.NewSpanRing(10_000)
+	res, err := clocksync.RunScenario(s, clocksync.WithSpanSink(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SpanSink != nil {
+		t.Error("WithSpanSink mutated the caller's Scenario")
+	}
+	rounds := map[clocksync.SpanID]bool{}
+	byName := map[string]int{}
+	for _, sp := range ring.Spans() {
+		byName[sp.Name]++
+		if sp.Name == clocksync.SpanRound {
+			rounds[sp.ID] = true
+		}
+	}
+	for _, name := range []string{
+		clocksync.SpanRound, clocksync.SpanEstimate,
+		clocksync.SpanReading, clocksync.SpanAdjust,
+	} {
+		if byName[name] == 0 {
+			t.Errorf("no %q spans captured: %v", name, byName)
+		}
+	}
+	for _, sp := range ring.Spans() {
+		if (sp.Name == clocksync.SpanEstimate || sp.Name == clocksync.SpanAdjust) && !rounds[sp.Parent] {
+			t.Fatalf("%s span %d has parent %d which is not a round span", sp.Name, sp.ID, sp.Parent)
+		}
+	}
+	if res.Obs == nil {
+		t.Fatal("no observer created for SpanSink")
+	}
+	if res.Obs.Recorder().RTT.Count() == 0 {
+		t.Error("RTT histogram empty after traced run")
+	}
+	if b := clocksync.HistogramBounds(); len(b) == 0 {
+		t.Error("HistogramBounds empty")
+	}
+}
+
 // TestRunScenarioWithTrace checks the measurement trace option produces
 // JSON lines.
 func TestRunScenarioWithTrace(t *testing.T) {

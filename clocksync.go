@@ -20,9 +20,10 @@
 //   - Checking & campaigns: the online Theorem 5 invariant checker
 //     (WithCheck, Violation) and randomized adversary campaigns with
 //     failure shrinking (RunCampaign, CampaignConfig).
-//   - Observability: the event stream and counter types shared by the
-//     simulator and the live node (Observer, Event, Ring, JSONL), attached
-//     to a run with RunScenario options.
+//   - Observability: the event stream, causal round spans, latency
+//     histograms and counter types shared by the simulator and the live
+//     node (Observer, Event, Span, Histogram, Ring, JSONL), attached to a
+//     run with RunScenario options. See docs/OBSERVABILITY.md.
 //   - Deployment: a real-time UDP node (NodeConfig, NewNode) and an
 //     in-process loopback cluster (ClusterConfig, NewCluster) running the
 //     same convergence function over authenticated links, exporting
@@ -346,8 +347,61 @@ func NewObserver(sinks ...EventSink) *Observer { return obs.NewObserver(sinks...
 // NewRing returns an in-memory sink retaining the newest capacity events.
 func NewRing(capacity int) *Ring { return obs.NewRing(capacity) }
 
-// NewJSONLSink returns a sink writing one JSON object per event to w.
+// NewJSONLSink returns a sink writing one JSON object per event to w. It
+// also implements SpanSink, so one JSONL can record a run's full stream:
+// pass it to both WithEventSink and WithSpanSink, and Close it when done to
+// guarantee the file ends on a complete line.
 func NewJSONLSink(w io.Writer) *JSONL { return obs.NewJSONL(w) }
+
+// Causal round tracing: with a SpanSink attached, every Sync execution emits
+// a round span with per-peer estimation, reading and adjustment child spans,
+// linked by span/parent IDs. Tracing costs nothing when no SpanSink is
+// attached (one atomic check per round).
+type (
+	// Span is one completed traced operation in a round's causal tree.
+	Span = obs.Span
+	// SpanID identifies a span; 0 means "no span".
+	SpanID = obs.SpanID
+	// SpanSink consumes completed spans; implementations include SpanRing,
+	// JSONL and SpanSinkFunc.
+	SpanSink = obs.SpanSink
+	// SpanSinkFunc adapts a function to a SpanSink.
+	SpanSinkFunc = obs.SpanSinkFunc
+	// SpanRing is a fixed-capacity in-memory span sink.
+	SpanRing = obs.SpanRing
+	// Histogram is a fixed-layout lock-free histogram of seconds; all
+	// Histograms share one log-spaced bucket layout and are mergeable.
+	// Recorder embeds four (RTT, estimation error, adjustment magnitude,
+	// good-set deviation), exposed on /metrics with p50/p95/p99 gauges.
+	Histogram = obs.Histogram
+)
+
+// Span names appearing in a round's causal tree.
+const (
+	SpanRound    = obs.SpanRound    // one Sync execution
+	SpanEstimate = obs.SpanEstimate // one peer estimation (send → reply/timeout)
+	SpanReading  = obs.SpanReading  // one reading's convergence verdict
+	SpanAdjust   = obs.SpanAdjust   // the clock adjustment
+)
+
+// EventSample is the periodic measurement event: per-node biases and the
+// good-set deviation (fields Biases, Deviation) — what the dashboard and
+// tracestat plots consume.
+const EventSample = obs.KindSample
+
+// WithSpanSink enables causal round tracing for the run, streaming completed
+// spans to sink (creating a private Observer when none was attached).
+func WithSpanSink(sink SpanSink) RunOption {
+	return func(s *Scenario) { s.SpanSink = sink }
+}
+
+// NewSpanRing returns an in-memory sink retaining the newest capacity spans.
+func NewSpanRing(capacity int) *SpanRing { return obs.NewSpanRing(capacity) }
+
+// HistogramBounds returns the shared histogram bucket edges in seconds,
+// ascending; see obs.HistBucketRatio for the quantile accuracy this layout
+// buys.
+func HistogramBounds() []float64 { return obs.HistogramBounds() }
 
 // ---------------------------------------------------------------------------
 // Deployment — live UDP nodes

@@ -1,0 +1,74 @@
+// Command benchobs runs the observability benchmarks (internal/obs/obsbench)
+// standalone via testing.Benchmark and writes the results as JSON — the
+// committed baseline BENCH_obs.json at the repository root records what the
+// instrumentation costs on the reference machine.
+//
+// Usage:
+//
+//	benchobs                   # print JSON to stdout
+//	benchobs -o BENCH_obs.json # write the baseline file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"clocksync/internal/obs/obsbench"
+)
+
+// result is one benchmark's record in the JSON baseline.
+type result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"ObserverDisabled", obsbench.ObserverDisabled},
+		{"ObserverRing", obsbench.ObserverRing},
+		{"RoundSpan", obsbench.RoundSpan},
+		{"HistogramObserve", obsbench.HistogramObserve},
+	}
+	var results []result
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		results = append(results, result{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-18s %12.2f ns/op %6d B/op %4d allocs/op\n",
+			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchobs:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		w = fh
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchobs:", err)
+		os.Exit(1)
+	}
+}

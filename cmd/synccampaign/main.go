@@ -23,6 +23,7 @@ import (
 	"clocksync/internal/campaign"
 	"clocksync/internal/check"
 	"clocksync/internal/core"
+	"clocksync/internal/obs"
 	"clocksync/internal/scenario"
 	"clocksync/internal/simtime"
 )
@@ -60,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 		shrink   = fs.Bool("shrink", false, "minimize each failing schedule to a smallest reproducer")
 		mutate   = fs.Bool("mutate", false, "loosen the convergence function (no trimming); violations are expected — a checker self-test")
 		jsonlOut = fs.String("jsonl", "", "append one JSON line per violation to this file")
+		traceSp  = fs.String("trace-spans", "", "replay the first failing seed with full event+span tracing into this JSONL file (inspect with tracestat, export with tracestat -perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,10 +124,41 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if *traceSp != "" && len(res.Failures) > 0 {
+		if err := replayWithTrace(cfg, res.Failures[0].Seed, *traceSp); err != nil {
+			return fmt.Errorf("replaying seed %d with tracing: %w", res.Failures[0].Seed, err)
+		}
+		fmt.Fprintf(stdout, "trace             seed %d replayed with spans into %s\n",
+			res.Failures[0].Seed, *traceSp)
+	}
+
 	if res.TotalViolations > 0 {
 		return fmt.Errorf("%d invariant violations across %d failing seeds", res.TotalViolations, len(res.Failures))
 	}
 	return nil
+}
+
+// replayWithTrace re-runs one failing seed bit-for-bit (Config.Scenario is
+// deterministic in the seed) with the full event and causal-span stream
+// recorded as JSON lines, so a violating round can be followed down to the
+// peer estimations that fed its convergence function.
+func replayWithTrace(cfg campaign.Config, seed int64, path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewJSONL(fh)
+	s := cfg.Scenario(seed)
+	s.EventSink = sink
+	s.SpanSink = sink
+	_, runErr := scenario.Run(s)
+	if cerr := sink.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if cerr := fh.Close(); runErr == nil {
+		runErr = cerr
+	}
+	return runErr
 }
 
 // printViolations prints up to limit violations, then an ellipsis.

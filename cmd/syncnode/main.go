@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"clocksync/internal/livenet"
+	"clocksync/internal/obs"
 )
 
 func main() {
@@ -50,12 +51,39 @@ func run() error {
 		report   = flag.Duration("report", 5*time.Second, "offset report interval (0 = quiet)")
 		status   = flag.String("status", "", "HTTP address serving GET /status (empty = off)")
 		metrics  = flag.String("metrics-addr", "", "HTTP address serving /metrics, /status and /debug/pprof (empty = off)")
+		traceOut = flag.String("trace-out", "", "append the node's observability event stream as JSON lines to this file; readable with tracestat")
+		traceSp  = flag.Bool("trace-spans", false, "also record causal spans (round/estimate/adjust) into -trace-out")
 	)
 	flag.Parse()
 
 	peers, err := parsePeers(*peersArg, *id)
 	if err != nil {
 		return err
+	}
+	if *traceSp && *traceOut == "" {
+		return fmt.Errorf("-trace-spans requires -trace-out")
+	}
+	var observer *obs.Observer
+	var closeTrace func()
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		sink := obs.NewJSONL(fh)
+		observer = obs.NewObserver()
+		observer.AddSink(sink)
+		if *traceSp {
+			observer.AddSpanSink(sink)
+		}
+		// Run returns when the signal context is cancelled, so closing here
+		// guarantees the trace ends on a complete line even on SIGINT.
+		closeTrace = func() {
+			if err := sink.Close(); err != nil {
+				log.Printf("node %d: closing trace: %v", *id, err)
+			}
+			fh.Close()
+		}
 	}
 	node, err := livenet.New(livenet.Config{
 		ID:          *id,
@@ -69,11 +97,18 @@ func run() error {
 		SimOffset:   *offset,
 		SimDriftPPM: *drift,
 		Ops: livenet.OpsConfig{
-			Logf: log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Ltime|log.Lmicroseconds).Printf,
+			Observer: observer,
+			Logf:     log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Ltime|log.Lmicroseconds).Printf,
 		},
 	})
 	if err != nil {
+		if closeTrace != nil {
+			closeTrace()
+		}
 		return err
+	}
+	if closeTrace != nil {
+		defer closeTrace()
 	}
 	log.Printf("node %d listening on %s with %d peers (f=%d)", *id, node.Addr(), len(peers), *f)
 

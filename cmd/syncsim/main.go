@@ -7,6 +7,8 @@
 //	syncsim -n 7 -f 2 -protocol boundedcf -smash 64 -duration 30m
 //	syncsim -n 10 -f 3 -rotate -theta 5m -duration 2h -plot
 //	syncsim -n 7 -f 2 -trace run.jsonl -duration 10m
+//	syncsim -n 7 -f 2 -trace-out run.jsonl -trace-spans -duration 10m
+//	syncsim -n 7 -f 2 -rotate -dash -duration 10m
 package main
 
 import (
@@ -14,14 +16,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"clocksync/internal/adversary"
 	"clocksync/internal/analysis"
 	"clocksync/internal/asciiplot"
 	"clocksync/internal/baseline"
+	"clocksync/internal/dash"
 	"clocksync/internal/network"
 	"clocksync/internal/obs"
 	"clocksync/internal/protocol"
@@ -34,6 +39,8 @@ type runOpts struct {
 	plot        bool
 	tracePath   string // -trace: measurement trace (samples, adjustments)
 	traceOut    string // -trace-out: observability event stream (rounds, skips)
+	traceSpans  bool   // -trace-spans: add span records to -trace-out
+	dash        bool   // -dash: live terminal dashboard during the run
 	metricsAddr string // -metrics-addr: /metrics + /debug/pprof during the run
 }
 
@@ -62,13 +69,19 @@ func run() error {
 		plot     = flag.Bool("plot", false, "print the deviation time series as an ASCII chart")
 		tracePth = flag.String("trace", "", "write a JSON-lines trace of the run to this file")
 		traceOut = flag.String("trace-out", "", "write the observability event stream (rounds, skips, corruptions) as JSON lines to this file; readable with tracestat")
+		traceSp  = flag.Bool("trace-spans", false, "also record causal spans (round/estimate/reading/adjust) into -trace-out; view with tracestat -perfetto")
+		dashFlag = flag.Bool("dash", false, "render a live terminal dashboard (offsets vs Δ, histograms, recent events) during the run")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this HTTP address for the duration of the run (use host:0 for an OS port)")
 		confPath = flag.String("config", "", "load the scenario from a JSON spec file (overrides most flags)")
 		provTgt  = flag.Duration("provision", 0, "instead of simulating, compute parameters meeting this deviation target (uses -rho, -theta)")
 	)
 	flag.Parse()
 
-	opts := runOpts{plot: *plot, tracePath: *tracePth, traceOut: *traceOut, metricsAddr: *metrics}
+	opts := runOpts{plot: *plot, tracePath: *tracePth, traceOut: *traceOut,
+		traceSpans: *traceSp, dash: *dashFlag, metricsAddr: *metrics}
+	if opts.traceSpans && opts.traceOut == "" {
+		return fmt.Errorf("-trace-spans requires -trace-out")
+	}
 
 	if *provTgt != 0 {
 		return provision(*provTgt, *rho, *theta)
@@ -195,24 +208,63 @@ func execute(s scenario.Scenario, proto string, opts runOpts) error {
 	}
 
 	var observer *obs.Observer
-	if opts.traceOut != "" || opts.metricsAddr != "" {
+	if opts.traceOut != "" || opts.metricsAddr != "" || opts.dash {
 		observer = obs.NewObserver()
 		s.Observer = observer
 	}
+
+	// closers runs exactly once — on normal return or on SIGINT/SIGTERM — so
+	// JSONL trace files always end on a complete line even when the run is
+	// interrupted mid-stream.
+	var closers []func()
+	var closeOnce sync.Once
+	closeSinks := func() {
+		closeOnce.Do(func() {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+		})
+	}
+	defer closeSinks()
+
 	if opts.traceOut != "" {
 		fh, err := os.Create(opts.traceOut)
 		if err != nil {
 			return fmt.Errorf("creating event stream file: %w", err)
 		}
-		defer fh.Close()
 		sink := obs.NewJSONL(fh)
 		observer.AddSink(sink)
-		defer func() {
-			if err := sink.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "syncsim: flushing event stream:", err)
+		if opts.traceSpans {
+			observer.AddSpanSink(sink)
+		}
+		closers = append(closers, func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "syncsim: closing event stream:", err)
 			}
-		}()
+			fh.Close()
+		})
 	}
+	if opts.dash {
+		// The Δ envelope is known before the run for in-model parameters;
+		// out-of-model scenarios dash without an envelope scale.
+		deltaEnv := 0.0
+		if b, err := analysis.Derive(s.Params()); err == nil {
+			deltaEnv = float64(b.MaxDeviation)
+		}
+		d := dash.New(dash.Config{Out: os.Stdout, N: s.N, Delta: deltaEnv})
+		observer.AddSink(d)
+		observer.AddSpanSink(d)
+		closers = append(closers, func() { d.Close() })
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		closeSinks()
+		os.Exit(130)
+	}()
 	if opts.metricsAddr != "" {
 		ctx, cancel := context.WithCancel(context.Background())
 		var wg sync.WaitGroup

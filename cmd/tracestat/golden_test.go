@@ -38,3 +38,33 @@ func TestSummaryGolden(t *testing.T) {
 			out.Bytes(), want)
 	}
 }
+
+// TestPerfettoGolden locks the Chrome/Perfetto trace-event JSON shape: span
+// records must export as complete ("X") events carrying span_id/parent_id
+// args, instants as "i" events, with microsecond timestamps — the contract
+// ui.perfetto.dev loads.
+func TestPerfettoGolden(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.json")
+	var sum bytes.Buffer
+	if err := run([]string{"-perfetto", out, filepath.Join("testdata", "sample.jsonl")}, nil, &sum); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "perfetto.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("perfetto export differs from golden (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}

@@ -1,18 +1,21 @@
 // Command tracestat summarizes a JSON-lines trace produced by a simulation
-// run (syncsim -trace, or scenario.Scenario.TraceWriter): adjustment
-// distribution, deviation profile, and the corruption timeline. With -plot
-// it also renders the per-node bias trajectories and the deviation series
-// as ASCII charts.
+// run (syncsim -trace-out, or scenario.Scenario.TraceWriter): adjustment
+// distribution, deviation profile, span and histogram summaries, and the
+// corruption timeline. With -plot it also renders the per-node bias
+// trajectories and the deviation series as ASCII charts; with -perfetto it
+// exports the span records as a Chrome/Perfetto trace-event JSON file.
 //
 // Usage:
 //
-//	syncsim -n 7 -f 2 -rotate -duration 30m -trace run.jsonl
+//	syncsim -n 7 -f 2 -rotate -duration 30m -trace-out run.jsonl -trace-spans
 //	tracestat run.jsonl
 //	tracestat -plot run.jsonl
+//	tracestat -perfetto run.json run.jsonl   # open in ui.perfetto.dev
 //	tracestat -          # read from stdin
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -29,19 +32,18 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
-	plot := false
-	if len(args) > 0 && args[0] == "-plot" {
-		plot = true
-		args = args[1:]
-	}
-	if len(args) != 1 {
-		return fmt.Errorf("usage: tracestat [-plot] <file.jsonl | ->")
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	plot := fs.Bool("plot", false, "render ASCII charts of the sample series")
+	perfetto := fs.String("perfetto", "", "write a Chrome/Perfetto trace-event JSON file here")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracestat [-plot] [-perfetto out.json] <file.jsonl | ->")
 	}
 	var r io.Reader
-	if args[0] == "-" {
+	if fs.Arg(0) == "-" {
 		r = stdin
 	} else {
-		fh, err := os.Open(args[0])
+		fh, err := os.Open(fs.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -58,7 +60,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if _, err := io.WriteString(stdout, trace.Summarize(events).String()); err != nil {
 		return err
 	}
-	if plot {
+	if *perfetto != "" {
+		fh, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		if err := trace.WritePerfetto(fh, events); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "perfetto trace written to %s\n", *perfetto)
+	}
+	if *plot {
 		return writePlots(stdout, events)
 	}
 	return nil

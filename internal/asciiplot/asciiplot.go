@@ -166,3 +166,53 @@ func maxInt(a, b int) int {
 	}
 	return b
 }
+
+// sparkLevels are the eight block glyphs Spark maps values onto.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line sparkline of block glyphs, resampled to
+// width columns (width ≤ 0 keeps one column per value). Each column shows the
+// maximum of its bucket, scaled so the largest value uses the tallest glyph;
+// NaN/Inf values are treated as zero. The live dashboard uses it for
+// histogram and deviation miniatures.
+func Spark(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	clean := make([]float64, len(values))
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			v = 0
+		}
+		clean[i] = v
+	}
+	if width <= 0 || width > len(clean) {
+		width = len(clean)
+	}
+	cols := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(clean) / width
+		hi := (c + 1) * len(clean) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := 0.0
+		for _, v := range clean[lo:hi] {
+			m = math.Max(m, v)
+		}
+		cols[c] = m
+	}
+	peak := 0.0
+	for _, v := range cols {
+		peak = math.Max(peak, v)
+	}
+	var b strings.Builder
+	for _, v := range cols {
+		idx := 0
+		if peak > 0 {
+			idx = int(v / peak * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}

@@ -195,6 +195,11 @@ type Node struct {
 
 	// cache is non-nil in the §3.1 cached-estimation variant.
 	cache *protocol.EstimateCache
+
+	// Round-tracing state: the open round span and its start instant. Only
+	// one round is in flight per node, so plain fields suffice.
+	roundSpan  obs.SpanID
+	roundStart float64
 }
 
 // New builds a Sync node over the harness. peers is the list of processors
@@ -251,6 +256,11 @@ func (n *Node) tick() {
 		}
 		return
 	}
+	if n.h.Obs.SpansEnabled() {
+		n.roundSpan = n.h.Obs.NextSpanID()
+		n.roundStart = float64(n.h.Sim().Now())
+		n.h.SpanParent = n.roundSpan
+	}
 	if n.cache != nil {
 		n.finish(n.cache.GetAll())
 		return
@@ -275,6 +285,16 @@ func (n *Node) finish(ests []protocol.Estimate) {
 				At: float64(n.h.Sim().Now()), Kind: obs.KindSkip, Node: n.h.ID(),
 			})
 		}
+		if n.roundSpan != 0 {
+			now := float64(n.h.Sim().Now())
+			n.h.Obs.EmitSpan(obs.Span{
+				ID: n.roundSpan, Name: obs.SpanRound, Node: n.h.ID(),
+				Start: n.roundStart, End: now,
+				Fields: map[string]float64{"skip": 1},
+			})
+			n.roundSpan = 0
+			n.h.SpanParent = 0
+		}
 		return
 	}
 	jumped := wayOff(n.cfg.F, n.cfg.WayOff, all)
@@ -284,9 +304,14 @@ func (n *Node) finish(ests []protocol.Estimate) {
 	n.stats.Syncs++
 	n.stats.LastDelta = delta
 	n.h.Adjust(delta)
+	wj := 0.0
+	if jumped {
+		wj = 1
+	}
 	if rec := n.h.Obs.Recorder(); rec != nil {
 		rec.SyncRounds.Inc()
 		rec.LastAdjust.Set(float64(delta))
+		rec.AdjustMag.Observe(math.Abs(float64(delta)))
 		// Adjustments are applied instantaneously (Definition 1 permits only
 		// additive corrections), so the amortization gauge pins at 1.
 		rec.AmortizationProgress.Set(1)
@@ -299,10 +324,6 @@ func (n *Node) finish(ests []protocol.Estimate) {
 				failed++
 			}
 		}
-		wj := 0.0
-		if jumped {
-			wj = 1
-		}
 		n.h.Obs.Emit(obs.Event{
 			At: float64(n.h.Sim().Now()), Kind: obs.KindRound, Node: n.h.ID(),
 			Fields: map[string]float64{
@@ -311,6 +332,9 @@ func (n *Node) finish(ests []protocol.Estimate) {
 				"wayoff": wj,
 			},
 		})
+	}
+	if n.roundSpan != 0 {
+		n.emitRoundSpans(all, delta, wj)
 	}
 	if n.cache != nil && n.cfg.CacheInvalidateOnAdjust && delta != 0 {
 		n.cache.Invalidate()
@@ -324,6 +348,67 @@ func (n *Node) finish(ests []protocol.Estimate) {
 			n.updateDrift(delta)
 		}
 	}
+}
+
+// emitRoundSpans closes the open round span: one zero-duration reading span
+// per estimate recording the convergence function's verdict (accepted, or
+// trimmed away by the (f+1)-st order statistics), an adjustment span, and the
+// round span itself. Reading spans parent to the estimation span that
+// produced their value, so a bad adjustment traces back through its reading
+// to the exact message exchange (or timeout) that fed it.
+func (n *Node) emitRoundSpans(all []protocol.Estimate, delta simtime.Duration, wayoff float64) {
+	now := float64(n.h.Sim().Now())
+	overs := make([]float64, len(all))
+	unders := make([]float64, len(all))
+	for i, e := range all {
+		overs[i] = float64(e.Over())
+		unders[i] = float64(e.Under())
+	}
+	m := kthSmallest(append([]float64(nil), overs...), n.cfg.F+1)
+	mm := kthLargest(append([]float64(nil), unders...), n.cfg.F+1)
+	for i, e := range all {
+		lowTrim, highTrim := 0.0, 0.0
+		if overs[i] < m {
+			lowTrim = 1 // overestimate among the f smallest: trimmed
+		}
+		if unders[i] > mm {
+			highTrim = 1 // underestimate among the f largest: trimmed
+		}
+		fields := map[string]float64{
+			"peer":     float64(e.Peer),
+			"accepted": 1 - math.Max(lowTrim, highTrim),
+			"lowtrim":  lowTrim,
+			"hightrim": highTrim,
+		}
+		// Failed estimates carry infinite over/under; JSON cannot encode
+		// those, so only finite readings are recorded.
+		if !math.IsInf(overs[i], 0) {
+			fields["over"] = overs[i]
+		}
+		if !math.IsInf(unders[i], 0) {
+			fields["under"] = unders[i]
+		}
+		parent := e.Span
+		if parent == 0 {
+			parent = n.roundSpan // self-estimate has no estimation span
+		}
+		n.h.Obs.EmitSpan(obs.Span{
+			ID: n.h.Obs.NextSpanID(), Parent: parent, Name: obs.SpanReading,
+			Node: n.h.ID(), Start: now, End: now, Fields: fields,
+		})
+	}
+	n.h.Obs.EmitSpan(obs.Span{
+		ID: n.h.Obs.NextSpanID(), Parent: n.roundSpan, Name: obs.SpanAdjust,
+		Node: n.h.ID(), Start: now, End: now,
+		Fields: map[string]float64{"delta": float64(delta), "wayoff": wayoff},
+	})
+	n.h.Obs.EmitSpan(obs.Span{
+		ID: n.roundSpan, Name: obs.SpanRound, Node: n.h.ID(),
+		Start: n.roundStart, End: now,
+		Fields: map[string]float64{"delta": float64(delta), "wayoff": wayoff},
+	})
+	n.roundSpan = 0
+	n.h.SpanParent = 0
 }
 
 // updateDrift feeds one correction into the frequency estimator: a clock

@@ -1,0 +1,222 @@
+// Package dash renders a live ANSI terminal dashboard from the observability
+// stream: per-node clock offsets against the Δ deviation envelope, histogram
+// sparklines for round-trip time, adjustment magnitude and good-set
+// deviation, and the most recent protocol events. It consumes the same
+// obs.Sink/obs.SpanSink interfaces every other consumer uses, so attaching it
+// costs nothing when it is not attached.
+//
+// Frames are throttled by wall time: the simulator emits events far faster
+// than real time, so rendering on every event would both flood the terminal
+// and slow the run. One final frame is always drawn on Close.
+package dash
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"clocksync/internal/asciiplot"
+	"clocksync/internal/obs"
+)
+
+// Config parameterizes a Dash.
+type Config struct {
+	Out io.Writer // destination terminal (required)
+	N   int       // processor count (rows of the offset gauge)
+	// Delta is the Theorem 5 deviation envelope Δ in seconds; the offset
+	// gauges span [−Δ, +Δ] and the header reports deviation against it.
+	Delta float64
+	// LastEvents is the number of recent events shown (default 8).
+	LastEvents int
+	// MinFrame is the minimal wall time between frames (default 100 ms;
+	// negative disables throttling, for tests).
+	MinFrame time.Duration
+	// Width is the sparkline/gauge width in columns (default 40).
+	Width int
+}
+
+// Dash is a Sink+SpanSink rendering the stream as a terminal dashboard.
+type Dash struct {
+	cfg Config
+
+	mu        sync.Mutex
+	at        float64   // latest event time seen
+	biases    []float64 // per-node offsets from the latest sample
+	deviation float64
+	devHist   []float64 // recent deviations for the sparkline
+	events    []obs.Event
+	rounds    int64
+	hRTT      obs.Histogram
+	hAdjust   obs.Histogram
+	hDev      obs.Histogram
+	lastFrame time.Time
+	now       func() time.Time
+}
+
+// New builds a dashboard. It renders nothing until events arrive.
+func New(cfg Config) *Dash {
+	if cfg.LastEvents <= 0 {
+		cfg.LastEvents = 8
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 40
+	}
+	if cfg.MinFrame == 0 {
+		cfg.MinFrame = 100 * time.Millisecond
+	}
+	return &Dash{cfg: cfg, biases: make([]float64, cfg.N), now: time.Now}
+}
+
+// Emit implements obs.Sink.
+func (d *Dash) Emit(e obs.Event) {
+	d.mu.Lock()
+	if e.At > d.at {
+		d.at = e.At
+	}
+	switch e.Kind {
+	case obs.KindSample:
+		copy(d.biases, e.Biases)
+		d.deviation = e.Deviation
+		d.devHist = append(d.devHist, e.Deviation)
+		if len(d.devHist) > 4*d.cfg.Width {
+			d.devHist = d.devHist[len(d.devHist)-4*d.cfg.Width:]
+		}
+		d.hDev.Observe(e.Deviation)
+	case obs.KindRound:
+		d.rounds++
+		d.hAdjust.Observe(math.Abs(e.Fields["delta"]))
+		d.pushEvent(e)
+	default:
+		d.pushEvent(e)
+	}
+	d.mu.Unlock()
+	d.maybeRender(false)
+}
+
+// EmitSpan implements obs.SpanSink: estimation spans feed the RTT histogram.
+func (d *Dash) EmitSpan(s obs.Span) {
+	if s.Name == obs.SpanEstimate && s.Fields["ok"] == 1 {
+		d.hRTT.Observe(s.Fields["rtt"])
+	}
+}
+
+// Close draws one final frame regardless of throttling.
+func (d *Dash) Close() error {
+	d.maybeRender(true)
+	return nil
+}
+
+func (d *Dash) pushEvent(e obs.Event) {
+	d.events = append(d.events, e)
+	if len(d.events) > d.cfg.LastEvents {
+		d.events = d.events[len(d.events)-d.cfg.LastEvents:]
+	}
+}
+
+func (d *Dash) maybeRender(force bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !force && d.cfg.MinFrame > 0 && d.now().Sub(d.lastFrame) < d.cfg.MinFrame {
+		return
+	}
+	d.lastFrame = d.now()
+	fmt.Fprint(d.cfg.Out, d.renderLocked())
+}
+
+// renderLocked builds one frame. Caller holds d.mu.
+func (d *Dash) renderLocked() string {
+	var b strings.Builder
+	b.WriteString("\x1b[H\x1b[2J") // home + clear
+	pct := 0.0
+	if d.cfg.Delta > 0 {
+		pct = 100 * d.deviation / d.cfg.Delta
+	}
+	fmt.Fprintf(&b, "clocksync  t=%.1fs  rounds=%d  deviation %.4gs / Δ %.4gs (%.0f%%)\n\n",
+		d.at, d.rounds, d.deviation, d.cfg.Delta, pct)
+
+	b.WriteString("offsets vs Δ envelope:\n")
+	for i, bias := range d.biases {
+		fmt.Fprintf(&b, "  n%-2d %s %+.4gs\n", i, gauge(bias, d.cfg.Delta, d.cfg.Width), bias)
+	}
+
+	fmt.Fprintf(&b, "\ndeviation %s\n", asciiplot.Spark(d.devHist, d.cfg.Width))
+	b.WriteString(histLine("rtt", &d.hRTT, d.cfg.Width))
+	b.WriteString(histLine("|adjust|", &d.hAdjust, d.cfg.Width))
+	b.WriteString(histLine("deviation", &d.hDev, d.cfg.Width))
+
+	if len(d.events) > 0 {
+		b.WriteString("\nrecent events:\n")
+		for _, e := range d.events {
+			fmt.Fprintf(&b, "  %9.1fs  %-8s n%-2d %s\n", e.At, e.Kind, e.Node, fieldsLine(e.Fields))
+		}
+	}
+	return b.String()
+}
+
+// gauge renders one offset as a marker on a [−Δ, +Δ] scale with the zero
+// point in the middle; offsets beyond the envelope pin to the edge.
+func gauge(bias, delta float64, width int) string {
+	cells := make([]byte, width)
+	for i := range cells {
+		cells[i] = '-'
+	}
+	cells[width/2] = '|'
+	pos := width / 2
+	if delta > 0 {
+		frac := bias / delta // −1..+1 inside the envelope
+		frac = math.Max(-1, math.Min(1, frac))
+		pos = int(math.Round((frac + 1) / 2 * float64(width-1)))
+	}
+	cells[pos] = 'o'
+	return "[" + string(cells) + "]"
+}
+
+// histLine renders one histogram as quantiles plus a bucket-count sparkline
+// over the populated bucket range.
+func histLine(name string, h *obs.Histogram, width int) string {
+	n := h.Count()
+	if n == 0 {
+		return fmt.Sprintf("%-9s (no data)\n", name)
+	}
+	counts := h.Buckets()
+	lo, hi := -1, -1
+	for i, c := range counts {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	vals := make([]float64, hi-lo+1)
+	for i := range vals {
+		vals[i] = float64(counts[lo+i])
+	}
+	return fmt.Sprintf("%-9s %s  n=%d p50 %.4gs p95 %.4gs p99 %.4gs\n",
+		name, asciiplot.Spark(vals, width), n, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}
+
+// fieldsLine formats an event's numeric payload compactly and stably.
+func fieldsLine(fields map[string]float64) string {
+	if len(fields) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	// Insertion sort; field maps are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.4g", k, fields[k]))
+	}
+	return strings.Join(parts, " ")
+}

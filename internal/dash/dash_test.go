@@ -1,0 +1,72 @@
+package dash
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"clocksync/internal/obs"
+)
+
+func TestDashRendersFrame(t *testing.T) {
+	var out bytes.Buffer
+	d := New(Config{Out: &out, N: 3, Delta: 0.05, MinFrame: -1, Width: 20})
+
+	d.EmitSpan(obs.Span{Name: obs.SpanEstimate, Fields: map[string]float64{"ok": 1, "rtt": 0.012}})
+	d.Emit(obs.Event{At: 1, Kind: obs.KindSample, Biases: []float64{0.01, -0.02, 0}, Deviation: 0.03})
+	d.Emit(obs.Event{At: 2, Kind: obs.KindRound, Node: 1, Fields: map[string]float64{"delta": -0.004, "failed": 0}})
+	d.Emit(obs.Event{At: 3, Kind: obs.KindTimeout, Node: 2, Fields: map[string]float64{"peer": 0}})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := out.String()
+	for _, want := range []string{
+		"deviation 0.03s / Δ 0.05s (60%)",
+		"offsets vs Δ envelope:",
+		"n0", "n1", "n2",
+		"rtt", "|adjust|",
+		"recent events:",
+		"round", "timeout", "delta=-0.004",
+		"\x1b[H\x1b[2J",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDashThrottlesFrames(t *testing.T) {
+	var out bytes.Buffer
+	d := New(Config{Out: &out, N: 1, Delta: 1, MinFrame: time.Hour, Width: 10})
+	// Pin the clock so the first event lands inside the throttle window.
+	base := time.Unix(1000, 0)
+	d.lastFrame = base
+	d.now = func() time.Time { return base.Add(time.Second) }
+
+	d.Emit(obs.Event{At: 1, Kind: obs.KindSample, Biases: []float64{0}, Deviation: 0})
+	if out.Len() != 0 {
+		t.Fatalf("frame rendered inside throttle window:\n%s", out.String())
+	}
+	d.now = func() time.Time { return base.Add(2 * time.Hour) }
+	d.Emit(obs.Event{At: 2, Kind: obs.KindSample, Biases: []float64{0}, Deviation: 0})
+	if out.Len() == 0 {
+		t.Fatal("no frame rendered after throttle window passed")
+	}
+}
+
+func TestGaugePinsToEnvelope(t *testing.T) {
+	g := gauge(10, 0.05, 21) // way outside Δ: pins right
+	if g[len(g)-2] != 'o' {
+		t.Errorf("over-envelope offset not pinned right: %s", g)
+	}
+	g = gauge(-10, 0.05, 21)
+	if g[1] != 'o' {
+		t.Errorf("under-envelope offset not pinned left: %s", g)
+	}
+	g = gauge(0, 0.05, 21)
+	if !strings.Contains(g, "o") {
+		t.Errorf("zero offset lost its marker: %s", g)
+	}
+}

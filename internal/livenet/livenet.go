@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -203,9 +204,12 @@ type Status struct {
 }
 
 type pendingPing struct {
-	peer   int
-	sentAt time.Time // local clock reading (Now) at send
-	ch     chan<- protocol.Estimate
+	peer     int
+	sentAt   time.Time // local clock reading (Now) at send
+	sentUnix float64   // wall time at send (span timebase)
+	span     obs.SpanID
+	parent   obs.SpanID
+	ch       chan<- protocol.Estimate
 }
 
 // New opens the node's socket and resolves its peers.
@@ -571,6 +575,22 @@ func (n *Node) handleResponse(msg wireMsg) {
 		D:    simtime.Duration(c.Sub(r).Seconds() + rtt.Seconds()/2),
 		A:    simtime.Duration(rtt.Seconds() / 2),
 		OK:   true,
+		Span: p.span,
+	}
+	n.rec.RTT.Observe(rtt.Seconds())
+	n.rec.EstError.Observe(float64(est.A))
+	if p.span != 0 {
+		n.cfg.Ops.Observer.EmitSpan(obs.Span{
+			ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: n.cfg.ID,
+			Start: p.sentUnix, End: float64(time.Now().UnixNano()) / 1e9,
+			Fields: map[string]float64{
+				"peer": float64(p.peer),
+				"d":    float64(est.D),
+				"a":    float64(est.A),
+				"rtt":  rtt.Seconds(),
+				"ok":   1,
+			},
+		})
 	}
 	n.mu.Lock()
 	ps := n.peerSeen[p.peer]
@@ -609,11 +629,26 @@ func (n *Node) runSync(ctx context.Context) {
 	}
 	ch := make(chan protocol.Estimate, len(n.peers))
 	var pings []ping
+	o := n.cfg.Ops.Observer
+	var roundSpan obs.SpanID
+	var roundStart float64
+	if o.SpansEnabled() {
+		roundSpan = o.NextSpanID()
+		roundStart = float64(time.Now().UnixNano()) / 1e9
+	}
 	sentAt := n.Now() // local clock reading S; all pings share the send instant
+	sentUnix := float64(time.Now().UnixNano()) / 1e9
 	n.mu.Lock()
 	for id, addr := range n.peers {
 		n.nonce++
-		n.pending[n.nonce] = pendingPing{peer: id, sentAt: sentAt, ch: ch}
+		var span obs.SpanID
+		if roundSpan != 0 {
+			span = o.NextSpanID()
+		}
+		n.pending[n.nonce] = pendingPing{
+			peer: id, sentAt: sentAt, sentUnix: sentUnix,
+			span: span, parent: roundSpan, ch: ch,
+		}
 		pings = append(pings, ping{nonce: n.nonce, peer: id, addr: addr})
 	}
 	n.mu.Unlock()
@@ -637,16 +672,22 @@ collect:
 	}
 	// Drop leftover pending entries for this round and fill failures.
 	failed := 0
+	var timedOut []pendingPing
 	n.mu.Lock()
 	for nonce, p := range n.pending {
 		for _, pg := range pings {
 			if pg.nonce == nonce {
 				delete(n.pending, nonce)
-				ests = append(ests, protocol.FailedEstimate(p.peer))
+				fe := protocol.FailedEstimate(p.peer)
+				fe.Span = p.span
+				ests = append(ests, fe)
 				ps := n.peerSeen[p.peer]
 				ps.failures++
 				n.peerSeen[p.peer] = ps
 				failed++
+				if p.span != 0 {
+					timedOut = append(timedOut, p)
+				}
 				break
 			}
 		}
@@ -655,12 +696,29 @@ collect:
 	if failed > 0 {
 		n.rec.EstimationTimeouts.Add(int64(failed))
 	}
+	if len(timedOut) > 0 {
+		nowU := float64(time.Now().UnixNano()) / 1e9
+		for _, p := range timedOut {
+			o.EmitSpan(obs.Span{
+				ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: n.cfg.ID,
+				Start: p.sentUnix, End: nowU,
+				Fields: map[string]float64{"peer": float64(p.peer), "ok": 0, "timeout": 1},
+			})
+		}
+	}
 	ests = append(ests, protocol.Estimate{Peer: n.cfg.ID, D: 0, A: 0, OK: true})
 
 	delta, ok := core.Converge(n.cfg.F, simtime.Duration(n.cfg.WayOff.Seconds()), ests)
 	if !ok {
 		n.rec.RoundsSkipped.Inc()
 		n.emit(obs.KindSkip, map[string]float64{"failed": float64(failed)})
+		if roundSpan != 0 {
+			o.EmitSpan(obs.Span{
+				ID: roundSpan, Name: obs.SpanRound, Node: n.cfg.ID,
+				Start: roundStart, End: float64(time.Now().UnixNano()) / 1e9,
+				Fields: map[string]float64{"skip": 1, "failed": float64(failed)},
+			})
+		}
 		n.logf("sync: too few answers (%d) for f=%d", len(ests)-1, n.cfg.F)
 		return
 	}
@@ -672,9 +730,25 @@ collect:
 	n.mu.Unlock()
 	n.rec.SyncRounds.Inc()
 	n.rec.LastAdjust.Set(dd.Seconds())
+	n.rec.AdjustMag.Observe(math.Abs(dd.Seconds()))
 	// Live nodes apply adjustments in one step, so amortization is complete
 	// the moment the round commits.
 	n.rec.AmortizationProgress.Set(1)
 	n.emit(obs.KindRound, map[string]float64{"delta": dd.Seconds(), "failed": float64(failed)})
+	if roundSpan != 0 {
+		endU := float64(time.Now().UnixNano()) / 1e9
+		o.EmitSpan(obs.Span{
+			ID: o.NextSpanID(), Parent: roundSpan, Name: obs.SpanAdjust, Node: n.cfg.ID,
+			Start: endU, End: endU,
+			Fields: map[string]float64{"delta": dd.Seconds()},
+		})
+		// Reading spans are simulator-only: the convergence verdict per
+		// estimate is recomputed in internal/core, which livenet bypasses.
+		o.EmitSpan(obs.Span{
+			ID: roundSpan, Name: obs.SpanRound, Node: n.cfg.ID,
+			Start: roundStart, End: endU,
+			Fields: map[string]float64{"delta": dd.Seconds(), "failed": float64(failed)},
+		})
+	}
 	n.logf("sync #%d: adjusted by %v (offset now %v)", n.Syncs(), dd, n.Offset())
 }

@@ -44,6 +44,7 @@ type Recorder struct {
 	adjustLog      []adjustRecord
 	adjusts        []int
 	sampleOnAdjust bool
+	onSample       func(Sample)
 }
 
 type adjustRecord struct {
@@ -87,6 +88,11 @@ func (r *Recorder) AdjustHook(id int) func(simtime.Time, simtime.Duration) {
 	}
 }
 
+// OnSample registers a hook invoked with every recorded sample (periodic and
+// adjustment-triggered alike); the scenario runner bridges it into the
+// observability stream. At most one hook; nil unregisters.
+func (r *Recorder) OnSample(fn func(Sample)) { r.onSample = fn }
+
 // Start arms periodic sampling with the given period.
 func (r *Recorder) Start(period simtime.Duration) {
 	des.NewTicker(r.sim, period, func(now simtime.Time) { r.TakeSample(now) })
@@ -110,6 +116,9 @@ func (r *Recorder) TakeSample(now simtime.Time) {
 	}
 	s.Deviation = simtime.Duration(stats.Spread(goodBiases))
 	r.samples = append(r.samples, s)
+	if r.onSample != nil {
+		r.onSample(s)
+	}
 }
 
 // Samples returns the recorded samples.

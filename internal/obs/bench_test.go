@@ -1,0 +1,25 @@
+package obs_test
+
+import (
+	"testing"
+
+	"clocksync/internal/obs/obsbench"
+)
+
+// The benchmark bodies live in obsbench so cmd/benchobs can run the same
+// code when recording the BENCH_obs.json baseline.
+
+func BenchmarkObserverDisabled(b *testing.B) { obsbench.ObserverDisabled(b) }
+func BenchmarkObserverRing(b *testing.B)     { obsbench.ObserverRing(b) }
+func BenchmarkRoundSpan(b *testing.B)        { obsbench.RoundSpan(b) }
+func BenchmarkHistogramObserve(b *testing.B) { obsbench.HistogramObserve(b) }
+
+// TestObserverDisabledAllocFree pins the acceptance criterion directly so it
+// fails in plain `go test`, not only under -bench: the no-sink fast path
+// must not allocate.
+func TestObserverDisabledAllocFree(t *testing.T) {
+	r := testing.Benchmark(obsbench.ObserverDisabled)
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Errorf("disabled observer path allocates: %d allocs/op", a)
+	}
+}

@@ -5,18 +5,23 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Event is one structured observation. At is in seconds — simulation time
 // for simulated runs, Unix time for live nodes. Kind names the observation;
 // Fields carries its numeric payload (e.g. {"delta": 0.004} for an
-// adjustment). The JSON encoding is one object per line when written through
-// a JSONL sink, and cmd/tracestat understands the stream.
+// adjustment). Sample events additionally carry the per-node bias vector and
+// the good-set deviation, mirroring the measurement-trace encoding so one
+// JSONL stream serves both. The JSON encoding is one object per line when
+// written through a JSONL sink, and cmd/tracestat understands the stream.
 type Event struct {
-	At     float64            `json:"at"`
-	Kind   string             `json:"kind"`
-	Node   int                `json:"node,omitempty"`
-	Fields map[string]float64 `json:"fields,omitempty"`
+	At        float64            `json:"at"`
+	Kind      string             `json:"kind"`
+	Node      int                `json:"node,omitempty"`
+	Fields    map[string]float64 `json:"fields,omitempty"`
+	Biases    []float64          `json:"biases,omitempty"`
+	Deviation float64            `json:"deviation,omitempty"`
 }
 
 // Standard event kinds emitted by the instrumented layers. Sinks must accept
@@ -28,6 +33,7 @@ const (
 	KindRelease  = "release"  // the adversary left a node
 	KindAuthFail = "authfail" // a message failed HMAC verification
 	KindTimeout  = "timeout"  // a peer estimation hit MaxWait; fields: peer
+	KindSample   = "sample"   // a measurement sample; carries Biases and Deviation
 )
 
 // Sink consumes events. Implementations must be safe for concurrent Emit
@@ -106,13 +112,16 @@ func (r *Ring) Total() int64 {
 	return r.total
 }
 
-// JSONL streams events to a writer as JSON lines. Encoding errors are sticky
-// and reported by Flush, so an unwritable trace never corrupts a run.
+// JSONL streams events — and, since it also implements SpanSink, spans — to a
+// writer as JSON lines. Both record shapes share one encoder and mutex, so a
+// single trace file interleaves them without torn lines. Encoding errors are
+// sticky and reported by Flush, so an unwritable trace never corrupts a run.
 type JSONL struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	enc *json.Encoder
-	err error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	closed bool
 }
 
 // NewJSONL returns a sink writing one JSON object per line to w.
@@ -124,8 +133,40 @@ func NewJSONL(w io.Writer) *JSONL {
 // Emit implements Sink.
 func (j *JSONL) Emit(e Event) {
 	j.mu.Lock()
-	if j.err == nil {
+	if j.err == nil && !j.closed {
 		j.err = j.enc.Encode(e)
+	}
+	j.mu.Unlock()
+}
+
+// spanRecord is the JSONL encoding of a span: an event-shaped line with
+// kind "span" plus the span identity, so one stream carries both and
+// cmd/tracestat parses it with a single decoder.
+type spanRecord struct {
+	At     float64            `json:"at"`
+	Kind   string             `json:"kind"`
+	Node   int                `json:"node,omitempty"`
+	Name   string             `json:"name"`
+	Span   uint64             `json:"span"`
+	Parent uint64             `json:"parent,omitempty"`
+	Dur    float64            `json:"dur"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// EmitSpan implements SpanSink.
+func (j *JSONL) EmitSpan(s Span) {
+	j.mu.Lock()
+	if j.err == nil && !j.closed {
+		j.err = j.enc.Encode(spanRecord{
+			At:     s.Start,
+			Kind:   "span",
+			Node:   s.Node,
+			Name:   s.Name,
+			Span:   uint64(s.ID),
+			Parent: uint64(s.Parent),
+			Dur:    s.Dur(),
+			Fields: s.Fields,
+		})
 	}
 	j.mu.Unlock()
 }
@@ -140,15 +181,35 @@ func (j *JSONL) Flush() error {
 	return j.w.Flush()
 }
 
-// Observer bundles a Recorder with an event stream: the single handle the
-// instrumented layers write to and the public API hands around. A nil
-// *Observer is valid and discards everything, so call sites need no guards.
+// Close flushes and marks the sink closed: later Emit/EmitSpan calls are
+// dropped. Because the encoder writes whole lines under the mutex, a closed
+// and flushed trace file always ends on a complete line even if other
+// goroutines are still emitting — the graceful-shutdown guarantee syncnode
+// and syncsim rely on.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Observer bundles a Recorder with an event stream and a span stream: the
+// single handle the instrumented layers write to and the public API hands
+// around. A nil *Observer is valid and discards everything, so call sites
+// need no guards.
 type Observer struct {
 	rec *Recorder
 
-	mu     sync.Mutex
-	sinks  []Sink
-	counts map[string]int64
+	hasSpans atomic.Bool   // true once a span sink is attached
+	spanID   atomic.Uint64 // last issued SpanID
+
+	mu        sync.Mutex
+	sinks     []Sink
+	spanSinks []SpanSink
+	counts    map[string]int64
 }
 
 // NewObserver returns an observer with a fresh Recorder, fanning events out
@@ -175,6 +236,48 @@ func (o *Observer) AddSink(s Sink) {
 	o.mu.Lock()
 	o.sinks = append(o.sinks, s)
 	o.mu.Unlock()
+}
+
+// AddSpanSink attaches a span sink and enables span emission. Spans emitted
+// before the call are not replayed.
+func (o *Observer) AddSpanSink(s SpanSink) {
+	if o == nil || s == nil {
+		return
+	}
+	o.mu.Lock()
+	o.spanSinks = append(o.spanSinks, s)
+	o.mu.Unlock()
+	o.hasSpans.Store(true)
+}
+
+// SpansEnabled reports whether any span sink is attached. Instrumented layers
+// guard span construction with this so the disabled path costs one atomic
+// load and zero allocations. Safe on a nil observer.
+func (o *Observer) SpansEnabled() bool {
+	return o != nil && o.hasSpans.Load()
+}
+
+// NextSpanID issues a fresh non-zero span ID. Safe on a nil observer (returns
+// 0, the "no span" ID).
+func (o *Observer) NextSpanID() SpanID {
+	if o == nil {
+		return 0
+	}
+	return SpanID(o.spanID.Add(1))
+}
+
+// EmitSpan fans a completed span out to every span sink. Safe on a nil
+// observer.
+func (o *Observer) EmitSpan(s Span) {
+	if o == nil || !o.hasSpans.Load() {
+		return
+	}
+	o.mu.Lock()
+	sinks := o.spanSinks
+	o.mu.Unlock()
+	for _, snk := range sinks {
+		snk.EmitSpan(s)
+	}
 }
 
 // Emit tallies the event and fans it out to every sink. Safe on a nil

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// The histogram layer gives the observability stream distribution-level
+// visibility: the related analyses (resilience bounds with fault correction,
+// optimal-precision Byzantine synchronization) reason in quantiles of skew
+// and estimation error, not means, and hot-path optimization needs per-phase
+// latency percentiles. All histograms share one fixed log-spaced bucket
+// layout, so histograms from different nodes, runs or processes merge by
+// plain bucket-count addition — the property Prometheus aggregation and
+// cross-run comparisons rely on.
+//
+// Layout: histBucketsPerDecade buckets per decade of seconds, spanning
+// [histMin, histMax). Values below the first edge land in the first bucket,
+// values at or above histMax in the overflow bucket. With 5 buckets per
+// decade adjacent edges are a factor 10^(1/5) ≈ 1.585 apart, which bounds
+// the relative error of quantile estimates (see Histogram.Quantile).
+const (
+	histBucketsPerDecade = 5
+	histMinExp           = -7 // first edge 1e-7 s (100 ns)
+	histMaxExp           = 3  // last edge 1e3 s
+	histEdges            = (histMaxExp - histMinExp) * histBucketsPerDecade
+	histBuckets          = histEdges + 1 // + overflow
+)
+
+// histBounds holds the shared upper bucket edges, ascending.
+var histBounds = func() [histEdges]float64 {
+	var b [histEdges]float64
+	for i := range b {
+		exp := float64(histMinExp) + float64(i+1)/histBucketsPerDecade
+		b[i] = math.Pow(10, exp)
+	}
+	return b
+}()
+
+// HistBucketRatio is the ratio between adjacent bucket edges; quantile
+// estimates are accurate to within this multiplicative factor.
+var HistBucketRatio = math.Pow(10, 1.0/histBucketsPerDecade)
+
+// HistogramBounds returns a copy of the shared upper bucket edges in
+// seconds, ascending. The final (overflow) bucket is unbounded.
+func HistogramBounds() []float64 {
+	out := make([]float64, histEdges)
+	copy(out[:], histBounds[:])
+	return out
+}
+
+// Histogram is a fixed-layout, lock-free histogram of non-negative values in
+// seconds. The zero value is ready to use; Observe, Count, Sum, Quantile and
+// Merge are all safe for concurrent use. Because every Histogram shares the
+// same bucket edges, any two are mergeable.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+// Observe records one value. Negative values are clamped to zero (they are
+// magnitudes by contract); NaN is dropped.
+func (h *Histogram) Observe(x float64) {
+	if h == nil || math.IsNaN(x) {
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	h.counts[histBucketIndex(x)].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64frombits(old) + x
+		if h.sum.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// histBucketIndex returns the bucket for x: the first bucket whose upper
+// edge is ≥ x, or the overflow bucket.
+func histBucketIndex(x float64) int {
+	// Binary search over the fixed edges (they are few and in cache).
+	lo, hi := 0, histEdges
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if histBounds[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns a snapshot of the per-bucket counts (not cumulative); the
+// last entry is the overflow bucket.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, histBuckets)
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// geometric interpolation inside the selected bucket. The estimate is exact
+// to within the bucket resolution: at most a factor HistBucketRatio (≈1.585)
+// from the true sample quantile, which hist tests assert. Returns 0 for an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.Buckets()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: the smallest bucket whose cumulative count covers rank.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		lo, hi := bucketRange(i)
+		if i == histBuckets-1 {
+			return lo // overflow: report the last finite edge
+		}
+		// Geometric interpolation by the rank's position within the bucket.
+		frac := float64(rank-(cum-c)) / float64(c)
+		if lo == 0 {
+			return hi * frac // first bucket: linear from zero
+		}
+		return lo * math.Pow(hi/lo, frac)
+	}
+	return histBounds[histEdges-1]
+}
+
+// bucketRange returns bucket i's (lower, upper) edges; the overflow bucket
+// reports (last edge, +Inf).
+func bucketRange(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, histBounds[0]
+	}
+	if i >= histEdges {
+		return histBounds[histEdges-1], math.Inf(1)
+	}
+	return histBounds[i-1], histBounds[i]
+}
+
+// Merge adds other's observations into h. Safe because all Histograms share
+// one bucket layout; concurrent Observes during a merge are not lost, they
+// just land on one side or the other.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	for {
+		old := h.sum.Load()
+		next := math.Float64frombits(old) + other.Sum()
+		if h.sum.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}

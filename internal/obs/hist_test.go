@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the shared layout: 5 log-spaced edges
+// per decade over [1e-7, 1e3), adjacent edges a factor HistBucketRatio
+// apart, and Observe landing each value in the bucket whose upper edge is
+// the first one ≥ the value.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := HistogramBounds()
+	if len(bounds) != 50 {
+		t.Fatalf("edge count = %d, want 50 (5 per decade over 10 decades)", len(bounds))
+	}
+	if want := 1e-7 * HistBucketRatio; math.Abs(bounds[0]-want)/want > 1e-12 {
+		t.Errorf("first edge = %g, want %g (one ratio step above 1e-7)", bounds[0], want)
+	}
+	if got := bounds[len(bounds)-1]; math.Abs(got-1e3)/1e3 > 1e-12 {
+		t.Errorf("last edge = %g, want 1e3", got)
+	}
+	for i := 1; i < len(bounds); i++ {
+		ratio := bounds[i] / bounds[i-1]
+		if math.Abs(ratio-HistBucketRatio) > 1e-9 {
+			t.Fatalf("edge ratio at %d = %g, want %g", i, ratio, HistBucketRatio)
+		}
+	}
+
+	// Placement: just-below goes into bucket i, just-above into bucket i+1,
+	// and an exact edge value into bucket i (edges are inclusive upper
+	// bounds, matching Prometheus le semantics).
+	for i, edge := range bounds {
+		var h Histogram
+		h.Observe(edge * 0.999)
+		h.Observe(edge)
+		h.Observe(edge * 1.001)
+		counts := h.Buckets()
+		if counts[i] != 2 {
+			t.Fatalf("edge %g: bucket %d holds %d, want 2 (below + exact)", edge, i, counts[i])
+		}
+		if counts[i+1] != 1 {
+			t.Fatalf("edge %g: bucket %d holds %d, want 1 (above)", edge, i+1, counts[i+1])
+		}
+	}
+
+	// Out-of-range values: sub-range into the first bucket, ≥ 1e3 into the
+	// overflow bucket, negatives clamped, NaN dropped.
+	var h Histogram
+	h.Observe(1e-9)
+	h.Observe(-5)
+	h.Observe(5e4)
+	h.Observe(math.NaN())
+	counts := h.Buckets()
+	if counts[0] != 2 {
+		t.Errorf("first bucket = %d, want 2 (tiny + clamped negative)", counts[0])
+	}
+	if counts[len(counts)-1] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", counts[len(counts)-1])
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3 (NaN dropped)", h.Count())
+	}
+}
+
+// TestHistogramQuantileErrorBound checks the documented accuracy contract:
+// a quantile estimate is within a factor HistBucketRatio of the true sample
+// quantile, for a spread of distributions across the bucket range.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() float64{
+		"uniform-ms":  func() float64 { return 1e-3 * (1 + 9*rng.Float64()) },
+		"log-uniform": func() float64 { return math.Pow(10, -6+8*rng.Float64()) },
+		"bimodal":     func() float64 { return []float64{2e-4, 5e-2}[rng.Intn(2)] * (1 + 0.1*rng.Float64()) },
+	}
+	for name, draw := range distributions {
+		var h Histogram
+		samples := make([]float64, 0, 5000)
+		for i := 0; i < 5000; i++ {
+			x := draw()
+			samples = append(samples, x)
+			h.Observe(x)
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			rank := int(math.Ceil(q*float64(len(samples)))) - 1
+			exact := samples[rank]
+			got := h.Quantile(q)
+			if got > exact*HistBucketRatio || got < exact/HistBucketRatio {
+				t.Errorf("%s p%d: estimate %g vs exact %g exceeds ×%.3f bound",
+					name, int(q*100), got, exact, HistBucketRatio)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileEmptyAndClamped covers the degenerate inputs.
+func TestHistogramQuantileEmptyAndClamped(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(0.01)
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo <= 0 || hi <= 0 {
+		t.Errorf("clamped quantiles = %g, %g; want positive", lo, hi)
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Error("nil histogram is not inert")
+	}
+}
+
+// TestHistogramMerge checks that merging is exact bucket addition: counts,
+// sums and quantiles of the merged histogram match observing the union.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, union Histogram
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		x := math.Pow(10, -5+6*rng.Float64())
+		a.Observe(x)
+		union.Observe(x)
+	}
+	for i := 0; i < 500; i++ {
+		x := math.Pow(10, -2+2*rng.Float64())
+		b.Observe(x)
+		union.Observe(x)
+	}
+	a.Merge(&b)
+	if a.Count() != union.Count() {
+		t.Fatalf("merged count %d != union %d", a.Count(), union.Count())
+	}
+	if math.Abs(a.Sum()-union.Sum()) > 1e-9*union.Sum() {
+		t.Errorf("merged sum %g != union %g", a.Sum(), union.Sum())
+	}
+	ab, ub := a.Buckets(), union.Buckets()
+	for i := range ab {
+		if ab[i] != ub[i] {
+			t.Fatalf("bucket %d: merged %d != union %d", i, ab[i], ub[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != union.Quantile(q) {
+			t.Errorf("p%d: merged %g != union %g", int(q*100), a.Quantile(q), union.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve exercises the lock-free paths under the
+// race detector and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1e-3 * float64(w+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	wantSum := 0.0
+	for w := 0; w < workers; w++ {
+		wantSum += 1e-3 * float64(w+1) * per
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestWritePromHistograms checks the exposition format of the histogram
+// series: cumulative le buckets, +Inf, _sum/_count, and quantile gauges.
+func TestWritePromHistograms(t *testing.T) {
+	rec := NewRecorder()
+	rec.RTT.Observe(0.01)
+	rec.RTT.Observe(0.02)
+	rec.RTT.Observe(0.04)
+	var b strings.Builder
+	if err := rec.WriteProm(&b, `node="0"`); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE clocksync_rtt_seconds histogram",
+		`clocksync_rtt_seconds_bucket{node="0",le="+Inf"} 3`,
+		`clocksync_rtt_seconds_count{node="0"} 3`,
+		`clocksync_rtt_seconds_p50{node="0"}`,
+		`clocksync_rtt_seconds_p95{node="0"}`,
+		`clocksync_rtt_seconds_p99{node="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing and end at the total count.
+	prev := int64(-1)
+	lines := strings.Split(out, "\n")
+	seen := 0
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "clocksync_rtt_seconds_bucket") {
+			continue
+		}
+		seen++
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series not cumulative at %q", line)
+		}
+		prev = v
+	}
+	if seen == 0 {
+		t.Fatal("no bucket lines emitted")
+	}
+	if prev != 3 {
+		t.Errorf("final cumulative bucket = %d, want 3", prev)
+	}
+}
+
+// TestMetricsEndpointMethodsAnd404 checks the /metrics HTTP contract: GET
+// serves the exposition, non-GET is rejected with 405 + Allow, and unknown
+// paths 404.
+func TestMetricsEndpointMethodsAnd404(t *testing.T) {
+	rec := NewRecorder()
+	rec.RTT.Observe(0.02)
+	srv := httptest.NewServer(RecorderMux(rec))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(body, "clocksync_rtt_seconds_bucket") {
+		t.Errorf("GET /metrics missing histogram series:\n%s", body)
+	}
+
+	resp, err = http.Post(srv.URL+"/metrics", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Errorf("Allow header = %q, want \"GET, HEAD\"", allow)
+	}
+
+	resp, err = http.Get(srv.URL + "/definitely-not-here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /definitely-not-here = %d, want 404", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

@@ -19,6 +19,11 @@ type CollectFunc func(w http.ResponseWriter) error
 func NewMux(collect CollectFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := collect(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)

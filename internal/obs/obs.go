@@ -77,6 +77,12 @@ type Recorder struct {
 	// applied to the clock: 1 for the paper's instantaneous additive
 	// adjustments; slewing extensions report partial progress.
 	AmortizationProgress Gauge
+
+	// Distribution histograms (shared log-bucketed layout; see Histogram).
+	RTT       Histogram // peer estimation round-trip time, seconds
+	EstError  Histogram // estimation error bound a of Definition 4, seconds
+	AdjustMag Histogram // |adjustment| per non-skipped round, seconds
+	Deviation Histogram // good-set deviation per measurement sample, seconds
 }
 
 // NewRecorder returns an empty recorder.
@@ -105,6 +111,25 @@ func (r *Recorder) Snapshot() []Metric {
 		{"clocksync_wayoff_jumps_total", "counter", "Rounds that took the WayOff recovery branch.", float64(r.WayOffJumps.Load())},
 		{"clocksync_last_adjust_seconds", "gauge", "Most recent convergence adjustment (signed seconds).", r.LastAdjust.Load()},
 		{"clocksync_amortization_progress", "gauge", "Fraction of the last adjustment applied to the clock.", r.AmortizationProgress.Load()},
+	}
+}
+
+// HistMetric is one exported histogram: a name in Prometheus convention
+// (base unit seconds, no suffix), a help line, and the live histogram.
+type HistMetric struct {
+	Name string
+	Help string
+	H    *Histogram
+}
+
+// Histograms returns the recorder's histograms in a fixed order. The returned
+// pointers are live — observations after the call are visible through them.
+func (r *Recorder) Histograms() []HistMetric {
+	return []HistMetric{
+		{"clocksync_rtt_seconds", "Peer estimation round-trip time.", &r.RTT},
+		{"clocksync_estimate_error_seconds", "Estimation error bound a (Definition 4).", &r.EstError},
+		{"clocksync_adjust_magnitude_seconds", "Absolute convergence adjustment per round.", &r.AdjustMag},
+		{"clocksync_deviation_seconds", "Good-set deviation per measurement sample.", &r.Deviation},
 	}
 }
 
@@ -144,8 +169,65 @@ func WriteProm(w io.Writer, byLabels map[string]*Recorder) error {
 			}
 		}
 	}
+	if len(keys) > 0 {
+		writePromHistograms(&b, keys, byLabels)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// promQuantiles are the quantile gauges derived from each histogram.
+var promQuantiles = []struct {
+	suffix string
+	q      float64
+}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}}
+
+// writePromHistograms renders every recorder's histograms: the Prometheus
+// histogram series (_bucket with cumulative counts, _sum, _count) followed by
+// p50/p95/p99 estimate gauges so dashboards get quantiles without PromQL.
+func writePromHistograms(b *strings.Builder, keys []string, byLabels map[string]*Recorder) {
+	nHists := len(byLabels[keys[0]].Histograms())
+	for hi := 0; hi < nHists; hi++ {
+		name := byLabels[keys[0]].Histograms()[hi].Name
+		help := byLabels[keys[0]].Histograms()[hi].Help
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, k := range keys {
+			hm := byLabels[k].Histograms()[hi]
+			buckets := hm.H.Buckets()
+			var cum int64
+			for i := 0; i < histEdges; i++ {
+				cum += buckets[i]
+				fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, joinLabels(k, fmt.Sprintf("le=%q", formatValue(histBounds[i]))), cum)
+			}
+			cum += buckets[histEdges]
+			fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, joinLabels(k, `le="+Inf"`), cum)
+			if k == "" {
+				fmt.Fprintf(b, "%s_sum %s\n%s_count %d\n", name, formatValue(hm.H.Sum()), name, hm.H.Count())
+			} else {
+				fmt.Fprintf(b, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, k, formatValue(hm.H.Sum()), name, k, hm.H.Count())
+			}
+		}
+		for _, pq := range promQuantiles {
+			gname := name + "_" + pq.suffix
+			fmt.Fprintf(b, "# HELP %s Estimated %g-quantile of %s.\n# TYPE %s gauge\n", gname, pq.q, name, gname)
+			for _, k := range keys {
+				hm := byLabels[k].Histograms()[hi]
+				if k == "" {
+					fmt.Fprintf(b, "%s %s\n", gname, formatValue(hm.H.Quantile(pq.q)))
+				} else {
+					fmt.Fprintf(b, "%s{%s} %s\n", gname, k, formatValue(hm.H.Quantile(pq.q)))
+				}
+			}
+		}
+	}
+}
+
+// joinLabels merges a recorder's label set with a per-sample label.
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
 }
 
 // formatValue renders a sample value the way Prometheus expects: integers

@@ -42,6 +42,7 @@ type Estimate struct {
 	D    simtime.Duration // estimated offset C_q − C_p
 	A    simtime.Duration // error bound; simtime.Infinity on timeout
 	OK   bool             // false when the peer did not answer in time
+	Span obs.SpanID       // estimation span, 0 when tracing is disabled
 }
 
 // Over returns the overestimate d̄ = d + a (Figure 1, line 6).
@@ -105,12 +106,20 @@ type Harness struct {
 	// estimation timeouts); nil disables instrumentation. The scenario
 	// runner shares one observer across all processors of a run.
 	Obs *obs.Observer
+
+	// SpanParent is the span every estimation started from here parents to.
+	// The protocol driving the harness (internal/core) sets it around
+	// EstimateAll; safe because only one round is in flight per processor.
+	SpanParent obs.SpanID
 }
 
 type pendingPing struct {
-	peer   int
-	sentAt simtime.Time // local clock S at send
-	done   func(Estimate)
+	peer    int
+	sentAt  simtime.Time // local clock S at send
+	sentSim simtime.Time // simulation time at send (span timebase)
+	span    obs.SpanID   // estimation span, 0 when tracing is disabled
+	parent  obs.SpanID
+	done    func(Estimate)
 }
 
 // NewHarness builds the harness for processor id and registers its network
@@ -248,6 +257,24 @@ func (h *Harness) handleTimeResp(from int, resp TimeResp) {
 		D:    resp.Clock.Sub(r) + (r.Sub(s) / 2),
 		A:    r.Sub(s) / 2,
 		OK:   true,
+		Span: p.span,
+	}
+	if rec := h.Obs.Recorder(); rec != nil {
+		rec.RTT.Observe(float64(r.Sub(s)))
+		rec.EstError.Observe(float64(est.A))
+	}
+	if p.span != 0 {
+		h.Obs.EmitSpan(obs.Span{
+			ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: h.id,
+			Start: float64(p.sentSim), End: float64(h.sim.Now()),
+			Fields: map[string]float64{
+				"peer": float64(from),
+				"d":    float64(est.D),
+				"a":    float64(est.A),
+				"rtt":  float64(r.Sub(s)),
+				"ok":   1,
+			},
+		})
 	}
 	p.done(est)
 }
@@ -267,10 +294,17 @@ func (h *Harness) Ping(peer int, timeout simtime.Duration, done func(Estimate)) 
 		fired = true
 		done(e)
 	}
-	h.pending[nonce] = pendingPing{peer: peer, sentAt: h.LocalNow(), done: once}
+	var span obs.SpanID
+	if h.Obs.SpansEnabled() {
+		span = h.Obs.NextSpanID()
+	}
+	h.pending[nonce] = pendingPing{
+		peer: peer, sentAt: h.LocalNow(), sentSim: h.sim.Now(),
+		span: span, parent: h.SpanParent, done: once,
+	}
 	h.net.Send(h.id, peer, TimeReq{Nonce: nonce})
 	h.ScheduleLocal(timeout, func() {
-		if _, still := h.pending[nonce]; still {
+		if p, still := h.pending[nonce]; still {
 			delete(h.pending, nonce)
 			if rec := h.Obs.Recorder(); rec != nil {
 				rec.EstimationTimeouts.Inc()
@@ -279,7 +313,18 @@ func (h *Harness) Ping(peer int, timeout simtime.Duration, done func(Estimate)) 
 					Fields: map[string]float64{"peer": float64(peer)},
 				})
 			}
-			once(FailedEstimate(peer))
+			if p.span != 0 {
+				h.Obs.EmitSpan(obs.Span{
+					ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: h.id,
+					Start: float64(p.sentSim), End: float64(h.sim.Now()),
+					Fields: map[string]float64{
+						"peer": float64(peer), "ok": 0, "timeout": 1,
+					},
+				})
+			}
+			fe := FailedEstimate(peer)
+			fe.Span = p.span
+			once(fe)
 		}
 	})
 }

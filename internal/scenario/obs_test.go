@@ -1,7 +1,10 @@
 package scenario
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"clocksync/internal/adversary"
@@ -87,6 +90,73 @@ func TestRunWithEventSinkOnly(t *testing.T) {
 	sum := trace.Summarize(events)
 	if sum.ByKind[string(obs.KindRound)] == 0 {
 		t.Errorf("summary tallied no round events: %v", sum.ByKind)
+	}
+}
+
+// TestTraceSurvivesMidStreamClose kills the JSONL trace mid-run — exactly
+// what the syncsim/syncnode SIGINT handlers do — and re-parses the file: the
+// sink's single-encoder design must leave it ending on a complete line, so
+// an interrupted run is still fully analyzable with tracestat.
+func TestTraceSurvivesMidStreamClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONL(fh)
+	o := obs.NewObserver(sink)
+	o.AddSpanSink(sink)
+	var seen atomic.Int64
+	o.AddSink(obs.SinkFunc(func(obs.Event) {
+		if seen.Add(1) == 25 { // mid-stream: well before the run ends
+			if err := sink.Close(); err != nil {
+				t.Errorf("mid-stream close: %v", err)
+			}
+		}
+	}))
+
+	s := baseScenario()
+	s.Duration = 10 * simtime.Minute
+	s.Observer = o
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if total := seen.Load(); total <= 25 {
+		t.Fatalf("run emitted only %d events; close was not mid-stream", total)
+	}
+
+	fh2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh2.Close()
+	events, err := trace.Read(fh2)
+	if err != nil {
+		t.Fatalf("interrupted trace does not re-parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("interrupted trace is empty")
+	}
+	spans := 0
+	for _, e := range events {
+		if e.Kind == trace.KindSpan {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Error("interrupted trace captured no span records")
+	}
+	// Raw check the complete-line guarantee directly: the file must end in
+	// exactly one trailing newline.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+		t.Error("interrupted trace does not end on a complete line")
 	}
 }
 

@@ -110,6 +110,11 @@ type Scenario struct {
 	// Observer is nil) — the convenience path for "just give me the events".
 	Observer  *obs.Observer
 	EventSink obs.Sink
+	// SpanSink enables causal round tracing: every Sync execution emits a
+	// round span with per-peer estimation, reading and adjustment child
+	// spans. Like EventSink it creates a fresh observer when Observer is
+	// nil. Tracing costs nothing when unset (see obs.Observer.SpansEnabled).
+	SpanSink obs.SpanSink
 
 	// Check attaches the online invariant checker (internal/check) to the
 	// run: every Sync round is asserted against the Theorem 5 deviation
@@ -289,6 +294,12 @@ func Run(s Scenario) (*Result, error) {
 		}
 		observer.AddSink(s.EventSink)
 	}
+	if s.SpanSink != nil {
+		if observer == nil {
+			observer = obs.NewObserver()
+		}
+		observer.AddSpanSink(s.SpanSink)
+	}
 	var checker *check.Checker
 	if s.Check {
 		if observer == nil {
@@ -306,6 +317,26 @@ func Run(s Scenario) (*Result, error) {
 		checker.Attach(sim)
 	}
 	res.Obs = observer
+	if observer != nil {
+		// Bridge measurement samples into the observability stream: the
+		// deviation histogram feeds /metrics quantiles, and sample events give
+		// trace consumers (tracestat, the dashboard) per-node biases against
+		// the Δ envelope.
+		orec := observer.Recorder()
+		rec.OnSample(func(sm metrics.Sample) {
+			if orec != nil {
+				orec.Deviation.Observe(float64(sm.Deviation))
+			}
+			biases := make([]float64, len(sm.Biases))
+			for i, b := range sm.Biases {
+				biases[i] = float64(b)
+			}
+			observer.Emit(obs.Event{
+				At: float64(sm.At), Kind: obs.KindSample,
+				Biases: biases, Deviation: float64(sm.Deviation),
+			})
+		})
+	}
 
 	syncNodes := make([]*core.Node, s.N)
 	for i := 0; i < s.N; i++ {

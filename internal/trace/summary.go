@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"clocksync/internal/obs"
 	"clocksync/internal/stats"
 )
 
@@ -26,6 +27,20 @@ type Summary struct {
 	// Rounds aggregates "round" events from observability streams: the
 	// per-round convergence adjustment distribution.
 	RoundDelta stats.Summary
+	// Spans aggregates span records by name (round, estimate, reading,
+	// adjust): count and duration distribution.
+	Spans map[string]SpanStats
+	// The histograms mirror the four /metrics distributions, rebuilt from
+	// the recorded stream so offline summaries agree with live scrapes:
+	// RTT and EstErr from estimate spans, AdjustMag from adjust/round
+	// records, DevHist from samples. Nil when the stream has no such data.
+	RTT, EstErr, AdjustMag, DevHist *obs.Histogram
+}
+
+// SpanStats summarizes the spans sharing one name.
+type SpanStats struct {
+	Count int
+	Dur   stats.Summary // duration distribution, seconds
 }
 
 // NodeSummary is one processor's view of the trace.
@@ -55,6 +70,8 @@ func Summarize(events []Event) Summary {
 	maxNode := -1
 	var adjustAbs []float64
 	var deviations []float64
+	spanDurs := map[string][]float64{}
+	var hRTT, hErr, hAdj, hDev obs.Histogram
 	perNode := map[int]*NodeSummary{}
 	openCorruption := map[int]float64{}
 	nodeOf := func(id int) *NodeSummary {
@@ -79,11 +96,21 @@ func Summarize(events []Event) Summary {
 				d = -d
 			}
 			roundDeltas = append(roundDeltas, d)
+			hAdj.Observe(d)
 			if e.Node > maxNode {
 				maxNode = e.Node
 			}
 		}
 		switch e.Kind {
+		case KindSpan:
+			spanDurs[e.Name] = append(spanDurs[e.Name], e.Dur)
+			if e.Node > maxNode {
+				maxNode = e.Node
+			}
+			if e.Name == "estimate" && e.Field("ok") == 1 {
+				hRTT.Observe(e.Field("rtt"))
+				hErr.Observe(e.Field("a"))
+			}
 		case KindAdjust:
 			s.Adjusts++
 			a := e.Delta
@@ -91,6 +118,7 @@ func Summarize(events []Event) Summary {
 				a = -a
 			}
 			adjustAbs = append(adjustAbs, a)
+			hAdj.Observe(a)
 			ns := nodeOf(e.Node)
 			ns.Adjusts++
 			if a > ns.MaxAdjust {
@@ -116,6 +144,7 @@ func Summarize(events []Event) Summary {
 		case KindSample:
 			s.Samples++
 			deviations = append(deviations, e.Deviation)
+			hDev.Observe(e.Deviation)
 			if n := len(e.Biases) - 1; n > maxNode {
 				maxNode = n
 			}
@@ -136,6 +165,24 @@ func Summarize(events []Event) Summary {
 	s.AdjustAbs = stats.Summarize(adjustAbs)
 	s.Deviation = stats.Summarize(deviations)
 	s.RoundDelta = stats.Summarize(roundDeltas)
+	if len(spanDurs) > 0 {
+		s.Spans = make(map[string]SpanStats, len(spanDurs))
+		for name, durs := range spanDurs {
+			s.Spans[name] = SpanStats{Count: len(durs), Dur: stats.Summarize(durs)}
+		}
+	}
+	if hRTT.Count() > 0 {
+		s.RTT = &hRTT
+	}
+	if hErr.Count() > 0 {
+		s.EstErr = &hErr
+	}
+	if hAdj.Count() > 0 {
+		s.AdjustMag = &hAdj
+	}
+	if hDev.Count() > 0 {
+		s.DevHist = &hDev
+	}
 	for id := 0; id <= maxNode; id++ {
 		if ns := perNode[id]; ns != nil {
 			s.PerNode = append(s.PerNode, *ns)
@@ -171,6 +218,40 @@ func (s Summary) String() string {
 	if s.Samples > 0 {
 		fmt.Fprintf(&b, "deviation: %d samples, mean %.4gs p99 %.4gs max %.4gs\n",
 			s.Samples, s.Deviation.Mean, s.Deviation.P99, s.Deviation.Max)
+	}
+	if len(s.Spans) > 0 {
+		names := make([]string, 0, len(s.Spans))
+		for n := range s.Spans {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "spans:\n")
+		for _, n := range names {
+			st := s.Spans[n]
+			fmt.Fprintf(&b, "  %-9s %5d  dur p50 %.4gs p99 %.4gs max %.4gs\n",
+				n, st.Count, st.Dur.P50, st.Dur.P99, st.Dur.Max)
+		}
+	}
+	hists := []struct {
+		name string
+		h    *obs.Histogram
+	}{
+		{"rtt", s.RTT},
+		{"estimate error", s.EstErr},
+		{"|adjust|", s.AdjustMag},
+		{"deviation", s.DevHist},
+	}
+	header := false
+	for _, hm := range hists {
+		if hm.h == nil {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(&b, "histograms (p50/p95/p99):\n")
+			header = true
+		}
+		fmt.Fprintf(&b, "  %-15s n=%-6d %.4gs / %.4gs / %.4gs\n",
+			hm.name, hm.h.Count(), hm.h.Quantile(0.50), hm.h.Quantile(0.95), hm.h.Quantile(0.99))
 	}
 	if len(s.Corruptions) > 0 {
 		fmt.Fprintf(&b, "corruptions: %d\n", len(s.Corruptions))

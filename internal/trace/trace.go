@@ -23,13 +23,17 @@ const (
 	KindRelease Kind = "release"
 	KindSample  Kind = "sample"
 	KindNote    Kind = "note"
+	// KindSpan marks a completed span from the obs span layer (round,
+	// estimate, reading, adjust); it uses Name, Span, Parent and Dur.
+	KindSpan Kind = "span"
 )
 
 // Event is one trace record. Fields are used according to Kind:
 // Adjust uses Node and Delta; Corrupt/Release use Node; Sample uses Biases
-// and Deviation; Note uses Text. Events from the obs package (syncsim
-// -trace-out) carry their numeric payload in Fields and may use kinds beyond
-// the constants above; Summarize tallies unknown kinds generically.
+// and Deviation; Note uses Text; Span uses Name, Span, Parent and Dur (At is
+// the span start). Events from the obs package (syncsim -trace-out) carry
+// their numeric payload in Fields and may use kinds beyond the constants
+// above; Summarize tallies unknown kinds generically.
 type Event struct {
 	At        float64            `json:"at"`
 	Kind      Kind               `json:"kind"`
@@ -38,6 +42,10 @@ type Event struct {
 	Biases    []float64          `json:"biases,omitempty"`
 	Deviation float64            `json:"deviation,omitempty"`
 	Text      string             `json:"text,omitempty"`
+	Name      string             `json:"name,omitempty"`
+	Span      uint64             `json:"span,omitempty"`
+	Parent    uint64             `json:"parent,omitempty"`
+	Dur       float64            `json:"dur,omitempty"`
 	Fields    map[string]float64 `json:"fields,omitempty"`
 }
 
