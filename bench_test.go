@@ -2,15 +2,10 @@ package clocksync_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
-	"clocksync/internal/core"
-	"clocksync/internal/des"
 	"clocksync/internal/experiments"
-	"clocksync/internal/protocol"
-	"clocksync/internal/scenario"
-	"clocksync/internal/simtime"
+	"clocksync/internal/simbench"
 )
 
 // Experiment benchmarks — one per table/figure of EXPERIMENTS.md. Each
@@ -104,70 +99,27 @@ func BenchmarkE20NetworkOutage(b *testing.B) {
 	benchExperiment(b, experiments.E20NetworkOutage)
 }
 
-// Component microbenchmarks — the protocol's hot paths.
+// Component microbenchmarks — the protocol's hot paths. The bodies live in
+// internal/simbench so cmd/benchsim can run the same code when recording the
+// BENCH_sim.json baseline; simbench's tests pin the alloc budgets.
 
 // BenchmarkConvergenceFunction measures the Figure 1 convergence function
 // on a 16-processor estimate vector.
-func BenchmarkConvergenceFunction(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	ests := make([]protocol.Estimate, 16)
-	for i := range ests {
-		ests[i] = protocol.Estimate{
-			Peer: i,
-			D:    simtime.Duration(rng.NormFloat64()),
-			A:    simtime.Duration(rng.Float64() * 0.05),
-			OK:   true,
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, ok := core.Converge(5, 1, ests); !ok {
-			b.Fatal("unexpected unsafe result")
-		}
-	}
-}
+func BenchmarkConvergenceFunction(b *testing.B) { simbench.ConvergenceFunction(b) }
 
 // BenchmarkSimulatorEvents measures raw discrete-event throughput.
-func BenchmarkSimulatorEvents(b *testing.B) {
-	sim := des.New(1)
-	var fn func()
-	remaining := b.N
-	fn = func() {
-		remaining--
-		if remaining > 0 {
-			sim.After(1, fn)
-		}
-	}
-	sim.After(1, fn)
-	b.ResetTimer()
-	sim.Run()
-	if sim.Fired() != uint64(b.N) {
-		b.Fatalf("fired %d, want %d", sim.Fired(), b.N)
-	}
-}
+func BenchmarkSimulatorEvents(b *testing.B) { simbench.SimulatorEvents(b) }
 
 // BenchmarkClusterMinute measures how fast the full stack simulates one
 // minute of a cluster (network, estimation, convergence, metrics) at
 // several sizes — the simulator's scalability envelope.
 func BenchmarkClusterMinute(b *testing.B) {
-	for _, n := range []int{7, 16, 64} {
+	for _, n := range []int{7, 16, 64, 256} {
 		n := n
-		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				_, err := scenario.Run(scenario.Scenario{
-					Name:     "bench",
-					Seed:     int64(i),
-					N:        n,
-					F:        (n - 1) / 3,
-					Duration: simtime.Minute,
-					Theta:    2 * simtime.Minute,
-					Rho:      1e-4,
-					SyncInt:  10 * simtime.Second,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) { simbench.ClusterMinute(b, n) })
 	}
 }
+
+// BenchmarkCampaignThroughput measures end-to-end randomized-campaign
+// throughput — generation, the streaming worker pool and per-run checking.
+func BenchmarkCampaignThroughput(b *testing.B) { simbench.CampaignThroughput(b) }

@@ -369,6 +369,12 @@ type (
 	SpanSinkFunc = obs.SpanSinkFunc
 	// SpanRing is a fixed-capacity in-memory span sink.
 	SpanRing = obs.SpanRing
+	// SpanField is one key→value entry of a span's numeric payload.
+	SpanField = obs.Field
+	// SpanFields is a span's numeric payload, stored inline so emitting a
+	// fully traced round allocates nothing. Build with SpanF and chained F
+	// calls; read with Get/Lookup/Each/Map.
+	SpanFields = obs.Fields
 	// Histogram is a fixed-layout lock-free histogram of seconds; all
 	// Histograms share one log-spaced bucket layout and are mergeable.
 	// Recorder embeds four (RTT, estimation error, adjustment magnitude,
@@ -397,6 +403,10 @@ func WithSpanSink(sink SpanSink) RunOption {
 
 // NewSpanRing returns an in-memory sink retaining the newest capacity spans.
 func NewSpanRing(capacity int) *SpanRing { return obs.NewSpanRing(capacity) }
+
+// SpanF starts a span field set with one entry; chain further entries with
+// the returned value's F method: SpanF("peer", 3).F("rtt", 0.04).
+func SpanF(key string, val float64) SpanFields { return obs.F(key, val) }
 
 // HistogramBounds returns the shared histogram bucket edges in seconds,
 // ascending; see obs.HistBucketRatio for the quantile accuracy this layout

@@ -1,0 +1,84 @@
+// Command benchsim runs the simulation-engine benchmarks (internal/simbench)
+// standalone via testing.Benchmark and writes the results as JSON — the
+// committed baseline BENCH_sim.json at the repository root records what a
+// simulated cluster-minute costs on the reference machine.
+//
+// Usage:
+//
+//	benchsim                    # print JSON to stdout
+//	benchsim -o BENCH_sim.json  # write a specific file
+//	benchsim -update            # regenerate the committed baseline
+//	                            # (BENCH_sim.json in the working directory),
+//	                            # like tracestat -update
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"clocksync/internal/simbench"
+)
+
+// result is one benchmark's record in the JSON baseline.
+type result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	update := flag.Bool("update", false, "regenerate the committed baseline BENCH_sim.json")
+	flag.Parse()
+	if *update {
+		*out = "BENCH_sim.json"
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"SimulatorEvents", simbench.SimulatorEvents},
+		{"ConvergenceFunction", simbench.ConvergenceFunction},
+		{"ClusterMinute/n7", func(b *testing.B) { simbench.ClusterMinute(b, 7) }},
+		{"ClusterMinute/n16", func(b *testing.B) { simbench.ClusterMinute(b, 16) }},
+		{"ClusterMinute/n64", func(b *testing.B) { simbench.ClusterMinute(b, 64) }},
+		{"ClusterMinute/n256", func(b *testing.B) { simbench.ClusterMinute(b, 256) }},
+		{"CampaignThroughput", simbench.CampaignThroughput},
+	}
+	var results []result
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		results = append(results, result{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-20s %14.2f ns/op %10d B/op %8d allocs/op\n",
+			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		w = fh
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsim:", err)
+		os.Exit(1)
+	}
+}

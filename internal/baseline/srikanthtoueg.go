@@ -44,7 +44,7 @@ type SrikanthToueg struct {
 	round     int64
 	lastBcast int64
 	ticks     map[int64]map[int]bool
-	alarm     *des.Event
+	alarm     des.Event
 
 	Resyncs int // accepted tick quorums
 }
@@ -90,9 +90,7 @@ func (st *SrikanthToueg) currentRound() int64 {
 // and a stale alarm would broadcast a premature tick (a cascade of which
 // drives rounds arbitrarily faster than real time).
 func (st *SrikanthToueg) rearm() {
-	if st.alarm != nil {
-		st.alarm.Cancel()
-	}
+	st.alarm.Cancel() // safe on the zero handle and on already-fired alarms
 	next := st.round + 1
 	if st.lastBcast+1 > next {
 		next = st.lastBcast + 1
@@ -106,7 +104,7 @@ func (st *SrikanthToueg) rearm() {
 }
 
 func (st *SrikanthToueg) boundary() {
-	st.alarm = nil
+	st.alarm = des.Event{}
 	if !st.h.Faulty() {
 		next := st.round + 1
 		if st.lastBcast+1 > next {

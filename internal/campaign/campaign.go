@@ -2,20 +2,26 @@
 // batches of simulations, each with a randomly drawn delay model, drop rate,
 // initial spread and a valid f-limited mobile corruption schedule (Definition
 // 2 respected by construction), every run instrumented with the online
-// Theorem 5 invariant checker of internal/check. A worker pool fans runs
-// across cores by reusing scenario.Sweep in bounded batches, and a shrinker
-// minimizes any failing schedule to a smallest reproducer. Campaigns are how
+// Theorem 5 invariant checker of internal/check. A streaming worker pool
+// fans runs across cores — each worker pulls the next seed the moment it
+// finishes its current one, reusing its simulator arena between runs — and a
+// shrinker minimizes any failing schedule to a smallest reproducer.
+// Campaigns are how
 // the repo turns "the bounds held on the experiments we thought of" into
 // "the bounds held on thousands of schedules nobody picked by hand".
 package campaign
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"clocksync/internal/adversary"
 	"clocksync/internal/check"
 	"clocksync/internal/core"
+	"clocksync/internal/des"
 	"clocksync/internal/scenario"
 	"clocksync/internal/simtime"
 )
@@ -115,41 +121,82 @@ type Result struct {
 	TotalViolations int
 }
 
+// runOutcome is what one campaign run leaves behind: only the failure data
+// and the run error, never the full scenario result — workers reuse their
+// simulator between runs, so retaining Result.Sim would alias live state.
+type runOutcome struct {
+	completed  bool
+	schedule   adversary.Schedule
+	violations []check.Violation
+	err        error
+}
+
 // Run executes the campaign: seeds Seed..Seed+Runs−1 are generated and run
-// in batches of Workers concurrent simulations via scenario.Sweep. The
-// returned error joins per-seed scenario build/run errors (generator or
-// configuration bugs — invariant violations are not errors, they are
-// Failures).
+// by a streaming pool of Workers goroutines. There is no batch barrier —
+// each worker pulls the next unclaimed seed the moment its current run
+// finishes, so one straggling run never idles the other workers — and each
+// worker reuses a single simulator arena across all its runs
+// (scenario.Scenario.ReuseSim), keeping steady-state campaign throughput
+// allocation-light. Failures and errors are reported in seed order
+// regardless of completion order. The returned error joins per-seed
+// scenario build/run errors (generator or configuration bugs — invariant
+// violations are not errors, they are Failures).
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{Runs: cfg.Runs}
+	outcomes := make([]runOutcome, cfg.Runs)
+
+	workers := cfg.Workers
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sim := des.New(0) // reset to each run's seed by scenario.Run
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Runs {
+					return
+				}
+				seed := cfg.Seed + int64(i)
+				s := cfg.Scenario(seed)
+				s.ReuseSim = sim
+				r, err := scenario.Run(s)
+				if err != nil {
+					outcomes[i].err = fmt.Errorf("seed %d: %w", seed, err)
+					continue
+				}
+				outcomes[i].completed = true
+				if len(r.Violations) > 0 {
+					outcomes[i].schedule = r.Scenario.Adversary
+					outcomes[i].violations = r.Violations
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
 	var errs []error
-	for start := 0; start < cfg.Runs; start += cfg.Workers {
-		n := cfg.Workers
-		if rem := cfg.Runs - start; rem < n {
-			n = rem
+	for i, o := range outcomes {
+		if o.err != nil {
+			errs = append(errs, o.err)
+			continue
 		}
-		seeds := make([]int64, n)
-		for i := range seeds {
-			seeds[i] = cfg.Seed + int64(start+i)
+		if !o.completed {
+			continue
 		}
-		results, err := scenario.Sweep(cfg.Scenario, seeds)
-		if err != nil {
-			errs = append(errs, err)
-		}
-		for i, r := range results {
-			if r == nil {
-				continue
-			}
-			res.Completed++
-			if len(r.Violations) > 0 {
-				res.TotalViolations += len(r.Violations)
-				res.Failures = append(res.Failures, Failure{
-					Seed:       seeds[i],
-					Schedule:   r.Scenario.Adversary,
-					Violations: r.Violations,
-				})
-			}
+		res.Completed++
+		if len(o.violations) > 0 {
+			res.TotalViolations += len(o.violations)
+			res.Failures = append(res.Failures, Failure{
+				Seed:       cfg.Seed + int64(i),
+				Schedule:   o.schedule,
+				Violations: o.violations,
+			})
 		}
 	}
 	return res, errors.Join(errs...)

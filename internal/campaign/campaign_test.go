@@ -70,8 +70,8 @@ func TestHonestCampaignClean(t *testing.T) {
 	}
 }
 
-// Batching across Sweep waves must preserve per-seed accounting even when
-// Runs is not a multiple of Workers.
+// The streaming scheduler must preserve per-seed accounting even when Runs
+// is not a multiple of Workers.
 func TestRunBatchesUnevenly(t *testing.T) {
 	res, err := Run(Config{Runs: 5, Seed: 100, Workers: 2,
 		Duration: 600, MaxCorruptions: 1})
@@ -80,6 +80,41 @@ func TestRunBatchesUnevenly(t *testing.T) {
 	}
 	if res.Runs != 5 || res.Completed != 5 {
 		t.Fatalf("requested/completed = %d/%d, want 5/5", res.Runs, res.Completed)
+	}
+}
+
+// TestCampaignFailuresInSeedOrder pins the streaming scheduler's ordering
+// contract: regardless of which worker finishes which run first, Failures
+// come back sorted by seed, and re-running the identical campaign reproduces
+// the identical failure set.
+func TestCampaignFailuresInSeedOrder(t *testing.T) {
+	cfg := Config{Runs: 12, Seed: 1, Workers: 4, Mutate: loosenTrimming}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if len(a.Failures) < 2 {
+		t.Skipf("only %d failures — not enough to check ordering", len(a.Failures))
+	}
+	for i := 1; i < len(a.Failures); i++ {
+		if a.Failures[i-1].Seed >= a.Failures[i].Seed {
+			t.Fatalf("failures out of seed order: %d before %d",
+				a.Failures[i-1].Seed, a.Failures[i].Seed)
+		}
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("campaign error on rerun: %v", err)
+	}
+	if len(a.Failures) != len(b.Failures) || a.TotalViolations != b.TotalViolations {
+		t.Fatalf("campaign not reproducible: %d/%d failures, %d/%d violations",
+			len(a.Failures), len(b.Failures), a.TotalViolations, b.TotalViolations)
+	}
+	for i := range a.Failures {
+		if a.Failures[i].Seed != b.Failures[i].Seed {
+			t.Fatalf("failure %d: seed %d vs %d across identical campaigns",
+				i, a.Failures[i].Seed, b.Failures[i].Seed)
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"clocksync/internal/obs"
 	"clocksync/internal/protocol"
@@ -96,6 +97,56 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// convergeScratch holds the reusable buffers one convergence computation
+// needs: the per-estimate overestimates and underestimates in their original
+// order (span emission indexes into them after selection), and a selection
+// buffer the quickselect is free to permute. A Node owns one scratch and
+// reuses it every round; the pure Converge entry point borrows one from a
+// pool. The zero value is ready to use.
+type convergeScratch struct {
+	overs  []float64
+	unders []float64
+	sel    []float64 // quickselect operand; mutated in place by kthSmallest
+}
+
+// extremes fills overs/unders from ests (original order preserved) and
+// returns the (f+1)-st smallest overestimate m and the (f+1)-st largest
+// underestimate M — the trimmed extremes of Figure 1, lines 6–7. Selection
+// runs on the scratch's sel buffer, so overs and unders stay in estimate
+// order for the caller.
+func (sc *convergeScratch) extremes(f int, ests []protocol.Estimate) (m, mm float64) {
+	sc.overs = sc.overs[:0]
+	sc.unders = sc.unders[:0]
+	for _, e := range ests {
+		sc.overs = append(sc.overs, float64(e.Over()))
+		sc.unders = append(sc.unders, float64(e.Under()))
+	}
+	sc.sel = append(sc.sel[:0], sc.overs...)
+	m = kthSmallest(sc.sel, f+1)
+	sc.sel = append(sc.sel[:0], sc.unders...)
+	mm = kthLargest(sc.sel, f+1)
+	return m, mm
+}
+
+// convergeFromExtremes applies Figure 1, lines 8–12, given the trimmed
+// extremes: the adjustment, whether the WayOff "ignore own clock" branch was
+// taken, and ok=false when either extreme is infinite (more than f
+// estimations failed on that side, so no safe adjustment exists).
+func convergeFromExtremes(m, mm float64, wayOff simtime.Duration) (delta simtime.Duration, jumped, ok bool) {
+	if math.IsInf(m, 0) || math.IsInf(mm, 0) {
+		return 0, false, false
+	}
+	w := float64(wayOff)
+	if m >= -w && mm <= w {
+		return simtime.Duration((math.Min(m, 0) + math.Max(mm, 0)) / 2), false, true
+	}
+	return simtime.Duration((m + mm) / 2), true, true
+}
+
+// scratchPool backs the pure Converge entry point so it stays allocation-free
+// without changing its signature.
+var scratchPool = sync.Pool{New: func() any { return new(convergeScratch) }}
+
 // Converge is the convergence function of Figure 1, lines 6–12, as a pure
 // function: given the trimming depth f, the WayOff threshold and one
 // estimate per processor (self included as {D:0, A:0}), it returns the
@@ -103,30 +154,25 @@ func (c Config) Validate() error {
 // — more than f estimations failed on both sides, so no safe adjustment
 // exists and the clock is left alone (this cannot happen under the paper's
 // assumptions, but message loss beyond the model can produce it).
+//
+// Converge never mutates ests; its working copies live in pooled scratch, so
+// the steady-state call is allocation-free.
 func Converge(f int, wayOff simtime.Duration, ests []protocol.Estimate) (delta simtime.Duration, ok bool) {
 	if len(ests) < 2*f+1 {
 		return 0, false // trimming f from both sides needs 2f+1 values
 	}
-	overs := make([]float64, len(ests))
-	unders := make([]float64, len(ests))
-	for i, e := range ests {
-		overs[i] = float64(e.Over())
-		unders[i] = float64(e.Under())
-	}
-	m := kthSmallest(overs, f+1)
-	mm := kthLargest(unders, f+1)
-	if math.IsInf(m, 0) || math.IsInf(mm, 0) {
-		return 0, false
-	}
-	w := float64(wayOff)
-	if m >= -w && mm <= w {
-		return simtime.Duration((math.Min(m, 0) + math.Max(mm, 0)) / 2), true
-	}
-	return simtime.Duration((m + mm) / 2), true
+	sc := scratchPool.Get().(*convergeScratch)
+	m, mm := sc.extremes(f, ests)
+	scratchPool.Put(sc)
+	delta, _, ok = convergeFromExtremes(m, mm, wayOff)
+	return delta, ok
 }
 
-// kthSmallest returns the k-th smallest element (1-indexed) via quickselect;
-// the input slice is scratch space owned by the caller.
+// kthSmallest returns the k-th smallest element (1-indexed) via quickselect.
+// CONTRACT: xs is scratch space owned by the caller and is permuted in place
+// — callers needing the original order must select on a copy (see
+// convergeScratch.sel). TestQuickselectMatchesSort pins the selection against
+// a sort-based oracle on random vectors.
 func kthSmallest(xs []float64, k int) float64 {
 	lo, hi := 0, len(xs)-1
 	k-- // 0-indexed rank
@@ -200,6 +246,18 @@ type Node struct {
 	// one round is in flight per node, so plain fields suffice.
 	roundSpan  obs.SpanID
 	roundStart float64
+
+	// Per-round reusable buffers: the estimate vector including the
+	// self-estimate, and the convergence scratch. One round is in flight per
+	// node, so plain reuse is safe and keeps the tick path allocation-free.
+	all     []protocol.Estimate
+	scratch convergeScratch
+
+	// tickCB and finishCB are the tick/finish method values, bound once —
+	// passing n.tick directly to ScheduleLocal would allocate a fresh
+	// closure every round.
+	tickCB   func()
+	finishCB func([]protocol.Estimate)
 }
 
 // New builds a Sync node over the harness. peers is the list of processors
@@ -210,6 +268,8 @@ func New(h *protocol.Harness, cfg Config, peers []int) *Node {
 		panic(err)
 	}
 	n := &Node{h: h, cfg: cfg, peers: append([]int(nil), peers...)}
+	n.tickCB = n.tick
+	n.finishCB = n.finish
 	return n
 }
 
@@ -235,7 +295,7 @@ func (n *Node) Start() {
 		// worthless after release (§3.1: the thread must be policed).
 		n.h.OnRelease = func(simtime.Time) { n.cache.Invalidate() }
 	}
-	n.h.ScheduleLocal(n.cfg.FirstSync, n.tick)
+	n.h.ScheduleLocal(n.cfg.FirstSync, n.tickCB)
 }
 
 // Cache exposes the estimate cache in the cached-estimation variant (nil
@@ -246,7 +306,7 @@ func (n *Node) Cache() *protocol.EstimateCache { return n.cache }
 func (n *Node) tick() {
 	// Re-arm first: the next execution is SyncInt after this one started,
 	// regardless of what happens below.
-	n.h.ScheduleLocal(n.cfg.SyncInt, n.tick)
+	n.h.ScheduleLocal(n.cfg.SyncInt, n.tickCB)
 	if n.h.Faulty() {
 		// The adversary owns this processor; its correct logic is suspended.
 		// The alarm chain itself keeps running.
@@ -265,18 +325,28 @@ func (n *Node) tick() {
 		n.finish(n.cache.GetAll())
 		return
 	}
-	n.h.EstimateAll(n.peers, n.cfg.MaxWait, n.finish)
+	n.h.EstimateAll(n.peers, n.cfg.MaxWait, n.finishCB)
 }
 
 // finish applies the convergence function to a completed estimation round.
+// The trimmed extremes are computed exactly once per round, into the node's
+// reusable scratch, and shared between the adjustment, the WayOff decision
+// and the reading spans — the old path recomputed the order statistics up to
+// three times and allocated fresh vectors for each.
 func (n *Node) finish(ests []protocol.Estimate) {
 	// Figure 1 iterates over all of {1..n} including p itself; the
 	// self-estimate is exact and free.
-	all := make([]protocol.Estimate, 0, len(ests)+1)
-	all = append(all, ests...)
-	all = append(all, protocol.Estimate{Peer: n.h.ID(), D: 0, A: 0, OK: true})
+	n.all = append(n.all[:0], ests...)
+	n.all = append(n.all, protocol.Estimate{Peer: n.h.ID(), D: 0, A: 0, OK: true})
+	all := n.all
 
-	delta, ok := Converge(n.cfg.F, n.cfg.WayOff, all)
+	var m, mm float64
+	var delta simtime.Duration
+	var jumped, ok bool
+	if len(all) >= 2*n.cfg.F+1 {
+		m, mm = n.scratch.extremes(n.cfg.F, all)
+		delta, jumped, ok = convergeFromExtremes(m, mm, n.cfg.WayOff)
+	}
 	if !ok {
 		n.stats.Skipped++
 		if rec := n.h.Obs.Recorder(); rec != nil {
@@ -290,14 +360,13 @@ func (n *Node) finish(ests []protocol.Estimate) {
 			n.h.Obs.EmitSpan(obs.Span{
 				ID: n.roundSpan, Name: obs.SpanRound, Node: n.h.ID(),
 				Start: n.roundStart, End: now,
-				Fields: map[string]float64{"skip": 1},
+				Fields: obs.F("skip", 1),
 			})
 			n.roundSpan = 0
 			n.h.SpanParent = 0
 		}
 		return
 	}
-	jumped := wayOff(n.cfg.F, n.cfg.WayOff, all)
 	if jumped {
 		n.stats.WayOffTriggers++
 	}
@@ -334,7 +403,7 @@ func (n *Node) finish(ests []protocol.Estimate) {
 		})
 	}
 	if n.roundSpan != 0 {
-		n.emitRoundSpans(all, delta, wj)
+		n.emitRoundSpans(all, m, mm, delta, wj)
 	}
 	if n.cache != nil && n.cfg.CacheInvalidateOnAdjust && delta != 0 {
 		n.cache.Invalidate()
@@ -356,16 +425,13 @@ func (n *Node) finish(ests []protocol.Estimate) {
 // round span itself. Reading spans parent to the estimation span that
 // produced their value, so a bad adjustment traces back through its reading
 // to the exact message exchange (or timeout) that fed it.
-func (n *Node) emitRoundSpans(all []protocol.Estimate, delta simtime.Duration, wayoff float64) {
+//
+// m and mm are the trimmed extremes finish already computed; the per-estimate
+// overs/unders are read from the node's scratch, which extremes left in
+// estimate order — nothing is recomputed or reallocated here.
+func (n *Node) emitRoundSpans(all []protocol.Estimate, m, mm float64, delta simtime.Duration, wayoff float64) {
 	now := float64(n.h.Sim().Now())
-	overs := make([]float64, len(all))
-	unders := make([]float64, len(all))
-	for i, e := range all {
-		overs[i] = float64(e.Over())
-		unders[i] = float64(e.Under())
-	}
-	m := kthSmallest(append([]float64(nil), overs...), n.cfg.F+1)
-	mm := kthLargest(append([]float64(nil), unders...), n.cfg.F+1)
+	overs, unders := n.scratch.overs, n.scratch.unders
 	for i, e := range all {
 		lowTrim, highTrim := 0.0, 0.0
 		if overs[i] < m {
@@ -374,19 +440,17 @@ func (n *Node) emitRoundSpans(all []protocol.Estimate, delta simtime.Duration, w
 		if unders[i] > mm {
 			highTrim = 1 // underestimate among the f largest: trimmed
 		}
-		fields := map[string]float64{
-			"peer":     float64(e.Peer),
-			"accepted": 1 - math.Max(lowTrim, highTrim),
-			"lowtrim":  lowTrim,
-			"hightrim": highTrim,
-		}
+		fields := obs.F("peer", float64(e.Peer)).
+			F("accepted", 1-math.Max(lowTrim, highTrim)).
+			F("lowtrim", lowTrim).
+			F("hightrim", highTrim)
 		// Failed estimates carry infinite over/under; JSON cannot encode
 		// those, so only finite readings are recorded.
 		if !math.IsInf(overs[i], 0) {
-			fields["over"] = overs[i]
+			fields = fields.F("over", overs[i])
 		}
 		if !math.IsInf(unders[i], 0) {
-			fields["under"] = unders[i]
+			fields = fields.F("under", unders[i])
 		}
 		parent := e.Span
 		if parent == 0 {
@@ -400,12 +464,12 @@ func (n *Node) emitRoundSpans(all []protocol.Estimate, delta simtime.Duration, w
 	n.h.Obs.EmitSpan(obs.Span{
 		ID: n.h.Obs.NextSpanID(), Parent: n.roundSpan, Name: obs.SpanAdjust,
 		Node: n.h.ID(), Start: now, End: now,
-		Fields: map[string]float64{"delta": float64(delta), "wayoff": wayoff},
+		Fields: obs.F("delta", float64(delta)).F("wayoff", wayoff),
 	})
 	n.h.Obs.EmitSpan(obs.Span{
 		ID: n.roundSpan, Name: obs.SpanRound, Node: n.h.ID(),
 		Start: n.roundStart, End: now,
-		Fields: map[string]float64{"delta": float64(delta), "wayoff": wayoff},
+		Fields: obs.F("delta", float64(delta)).F("wayoff", wayoff),
 	})
 	n.roundSpan = 0
 	n.h.SpanParent = 0
@@ -442,16 +506,13 @@ func (n *Node) updateDrift(delta simtime.Duration) {
 	n.h.Clock().SetGain(now, n.gain)
 }
 
-// wayOff reports whether the estimates trip the "ignore own clock" branch —
-// recomputed separately so Converge itself stays a single pure function.
+// wayOff reports whether the estimates trip the "ignore own clock" branch.
+// The protocol path gets this for free from convergeFromExtremes; this
+// wrapper exists for tests that probe the branch in isolation.
 func wayOff(f int, w simtime.Duration, ests []protocol.Estimate) bool {
-	overs := make([]float64, len(ests))
-	unders := make([]float64, len(ests))
-	for i, e := range ests {
-		overs[i] = float64(e.Over())
-		unders[i] = float64(e.Under())
-	}
-	m := kthSmallest(overs, f+1)
-	mm := kthLargest(unders, f+1)
-	return !(m >= -float64(w) && mm <= float64(w))
+	sc := scratchPool.Get().(*convergeScratch)
+	m, mm := sc.extremes(f, ests)
+	scratchPool.Put(sc)
+	_, jumped, _ := convergeFromExtremes(m, mm, w)
+	return jumped
 }

@@ -98,8 +98,8 @@ func (d *Dash) Emit(e obs.Event) {
 
 // EmitSpan implements obs.SpanSink: estimation spans feed the RTT histogram.
 func (d *Dash) EmitSpan(s obs.Span) {
-	if s.Name == obs.SpanEstimate && s.Fields["ok"] == 1 {
-		d.hRTT.Observe(s.Fields["rtt"])
+	if s.Name == obs.SpanEstimate && s.Fields.Get("ok") == 1 {
+		d.hRTT.Observe(s.Fields.Get("rtt"))
 	}
 }
 

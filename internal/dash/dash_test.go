@@ -13,7 +13,7 @@ func TestDashRendersFrame(t *testing.T) {
 	var out bytes.Buffer
 	d := New(Config{Out: &out, N: 3, Delta: 0.05, MinFrame: -1, Width: 20})
 
-	d.EmitSpan(obs.Span{Name: obs.SpanEstimate, Fields: map[string]float64{"ok": 1, "rtt": 0.012}})
+	d.EmitSpan(obs.Span{Name: obs.SpanEstimate, Fields: obs.F("ok", 1).F("rtt", 0.012)})
 	d.Emit(obs.Event{At: 1, Kind: obs.KindSample, Biases: []float64{0.01, -0.02, 0}, Deviation: 0.03})
 	d.Emit(obs.Event{At: 2, Kind: obs.KindRound, Node: 1, Fields: map[string]float64{"delta": -0.004, "failed": 0}})
 	d.Emit(obs.Event{At: 3, Kind: obs.KindTimeout, Node: 2, Fields: map[string]float64{"peer": 0}})

@@ -6,85 +6,127 @@
 // fixed seed is exactly reproducible. The simulator is single-threaded by
 // design: processors in the simulated network are state machines driven by
 // events, which makes every bias measurable at every instant without races.
+//
+// Internally the queue is an index-based 4-ary min-heap over a pooled event
+// arena: scheduling an event takes a slot from a free list instead of
+// allocating, and the heap stores (time, seq, slot-index) nodes with the
+// ordering key inline, so the steady-state schedule→fire path performs zero
+// heap allocations and the sift loops compare contiguous memory instead of
+// chasing pointers into the arena. Recycled
+// slots carry a generation counter; an Event handle captures the generation
+// at scheduling time, so cancelling an event that has already fired (and
+// whose slot now hosts a different event) is a safe no-op. The firing order
+// is the same total (time, sequence) order as the previous container/heap
+// implementation — determinism tests pin this byte for byte.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
 	"clocksync/internal/simtime"
 )
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it.
+// Event is a handle to a scheduled callback, returned by the scheduling
+// methods so callers can cancel it. It is a small value (not a pointer into
+// the queue): the zero Event is valid and Cancel on it is a no-op, and a
+// handle kept past its event's firing is defused by the arena's generation
+// counter.
 type Event struct {
-	at        simtime.Time
-	seq       uint64
-	fn        func()
-	index     int // heap index; -1 once fired or cancelled
-	cancelled bool
+	s   *Sim
+	at  simtime.Time
+	idx int32
+	gen uint32
 }
 
 // At returns the instant the event is scheduled for.
-func (e *Event) At() simtime.Time { return e.at }
+func (e Event) At() simtime.Time { return e.at }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+// already-cancelled event — or the zero Event — is a no-op: the handle's
+// generation no longer matches the recycled slot's, so a slot reused for a
+// newer event cannot be cancelled through a stale handle.
+func (e Event) Cancel() {
+	if e.s == nil {
+		return
 	}
-}
-
-// eventHeap orders events by (time, sequence number). The sequence number
-// makes the order total and deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	slot := &e.s.arena[e.idx]
+	if slot.gen != e.gen {
+		return
 	}
-	return h[i].seq < h[j].seq
+	slot.cancelled = true
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// slot is one pooled event in the arena. fn is cleared on recycle so the
+// arena does not pin dead closures.
+type slot struct {
+	at        simtime.Time
+	seq       uint64
+	fn        func()
+	gen       uint32
+	cancelled bool
 }
 
 // Sim is a discrete-event simulator instance.
 type Sim struct {
 	now     simtime.Time
 	seq     uint64
-	queue   eventHeap
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	arena []slot    // pooled event storage
+	free  []int32   // recycled arena slots
+	heap  []heapEnt // 4-ary min-heap ordered by (at, seq)
+}
+
+// heapEnt is one heap node. The ordering key (at, seq) is stored inline so
+// the sift loops compare contiguous heap memory instead of dereferencing
+// into the arena on every comparison — on large clusters the queue holds
+// thousands of events and those derefs are cache misses.
+type heapEnt struct {
+	at  simtime.Time
+	seq uint64
+	idx int32
+}
+
+// entLess orders heap nodes by (time, sequence number). The sequence number
+// makes the order total and deterministic — same-instant events fire in
+// scheduling order.
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // New returns a simulator starting at time 0 with the given RNG seed.
 func New(seed int64) *Sim {
 	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset rewinds the simulator to the state New(seed) returns — time 0, empty
+// queue, fresh RNG stream — while keeping the event arena and heap storage
+// for reuse. Campaign workers run thousands of scenarios back to back;
+// resetting instead of reallocating keeps the queue's memory warm across
+// runs. A reset simulator replays a seed byte-for-byte identically to a
+// fresh one.
+func (s *Sim) Reset(seed int64) {
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+	s.fired = 0
+	for i := range s.arena {
+		sl := &s.arena[i]
+		sl.fn = nil
+		sl.gen++ // defuse every outstanding handle from the previous run
+	}
+	s.heap = s.heap[:0]
+	s.free = s.free[:0]
+	for i := len(s.arena) - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	s.rng.Seed(seed)
 }
 
 // Now returns the current virtual time.
@@ -99,23 +141,35 @@ func (s *Sim) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled events not yet drained).
-func (s *Sim) Pending() int { return len(s.queue) }
+func (s *Sim) Pending() int { return len(s.heap) }
 
 // At schedules fn to run at instant t. Scheduling in the past panics: it is
 // always a bug in the caller, and silently reordering time would invalidate
 // the analysis the simulator exists to check.
-func (s *Sim) At(t simtime.Time, fn func()) *Event {
+func (s *Sim) At(t simtime.Time, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.arena = append(s.arena, slot{})
+		idx = int32(len(s.arena) - 1)
+	}
+	sl := &s.arena[idx]
+	sl.at = t
+	sl.seq = s.seq
+	sl.fn = fn
+	sl.cancelled = false
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev
+	s.push(heapEnt{at: t, seq: sl.seq, idx: idx})
+	return Event{s: s, at: t, idx: idx, gen: sl.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (s *Sim) After(d simtime.Duration, fn func()) *Event {
+func (s *Sim) After(d simtime.Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("des: scheduling event %v in the past", d))
 	}
@@ -125,14 +179,20 @@ func (s *Sim) After(d simtime.Duration, fn func()) *Event {
 // Step fires the next event. It reports false when the queue is empty or the
 // simulation has been stopped.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 && !s.stopped {
-		ev := heap.Pop(&s.queue).(*Event)
-		if ev.cancelled {
+	for len(s.heap) > 0 && !s.stopped {
+		idx := s.pop()
+		sl := &s.arena[idx]
+		if sl.cancelled {
+			s.recycle(idx)
 			continue
 		}
-		s.now = ev.at
+		s.now = sl.at
+		fn := sl.fn
 		s.fired++
-		ev.fn()
+		// Recycle before running: fn may schedule new events, and handing it
+		// the hot slot keeps the arena at its steady-state footprint.
+		s.recycle(idx)
+		fn()
 		return true
 	}
 	return false
@@ -142,12 +202,9 @@ func (s *Sim) Step() bool {
 // events at exactly horizon) or the queue empties. Afterwards the clock
 // reads horizon, even if the queue drained early.
 func (s *Sim) RunUntil(horizon simtime.Time) {
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at > horizon {
+	for len(s.heap) > 0 && !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > horizon {
 			break
 		}
 		s.Step()
@@ -166,17 +223,84 @@ func (s *Sim) Run() {
 // Stop halts the simulation; subsequent Step calls return false.
 func (s *Sim) Stop() { s.stopped = true }
 
-// peek returns the next live event without removing it, draining cancelled
-// events it encounters.
-func (s *Sim) peek() *Event {
-	for len(s.queue) > 0 {
-		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
+// recycle returns an arena slot to the free list, bumping its generation so
+// outstanding handles to the old occupant become inert.
+func (s *Sim) recycle(idx int32) {
+	sl := &s.arena[idx]
+	sl.fn = nil
+	sl.gen++
+	s.free = append(s.free, idx)
+}
+
+// peek returns the time of the next live event, draining cancelled events it
+// encounters.
+func (s *Sim) peek() (simtime.Time, bool) {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if s.arena[top.idx].cancelled {
+			s.pop()
+			s.recycle(top.idx)
 			continue
 		}
-		return s.queue[0]
+		return top.at, true
 	}
-	return nil
+	return 0, false
+}
+
+// push inserts a node into the 4-ary heap, sifting up with a hole (moves
+// instead of swaps).
+func (s *Sim) push(e heapEnt) {
+	s.heap = append(s.heap, e)
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+// pop removes the minimum node from the 4-ary heap and returns its arena
+// index, sifting down with a hole.
+func (s *Sim) pop() int32 {
+	h := s.heap
+	min := h[0].idx
+	last := len(h) - 1
+	e := h[last]
+	s.heap = h[:last]
+	h = s.heap
+	n := len(h)
+	if n == 0 {
+		return min
+	}
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
+	return min
 }
 
 // Ticker invokes fn every period of virtual time until cancelled. It is a
@@ -186,7 +310,7 @@ type Ticker struct {
 	sim     *Sim
 	period  simtime.Duration
 	fn      func(simtime.Time)
-	ev      *Event
+	ev      Event
 	stopped bool
 }
 

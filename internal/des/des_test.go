@@ -87,10 +87,10 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double cancel and cancel-after-run must be safe.
+	// Double cancel, cancel-after-run and the zero handle must be safe.
 	ev.Cancel()
-	var nilEv *Event
-	nilEv.Cancel()
+	var zero Event
+	zero.Cancel()
 }
 
 func TestRunUntil(t *testing.T) {

@@ -583,13 +583,11 @@ func (n *Node) handleResponse(msg wireMsg) {
 		n.cfg.Ops.Observer.EmitSpan(obs.Span{
 			ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: n.cfg.ID,
 			Start: p.sentUnix, End: float64(time.Now().UnixNano()) / 1e9,
-			Fields: map[string]float64{
-				"peer": float64(p.peer),
-				"d":    float64(est.D),
-				"a":    float64(est.A),
-				"rtt":  rtt.Seconds(),
-				"ok":   1,
-			},
+			Fields: obs.F("peer", float64(p.peer)).
+				F("d", float64(est.D)).
+				F("a", float64(est.A)).
+				F("rtt", rtt.Seconds()).
+				F("ok", 1),
 		})
 	}
 	n.mu.Lock()
@@ -702,7 +700,7 @@ collect:
 			o.EmitSpan(obs.Span{
 				ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: n.cfg.ID,
 				Start: p.sentUnix, End: nowU,
-				Fields: map[string]float64{"peer": float64(p.peer), "ok": 0, "timeout": 1},
+				Fields: obs.F("peer", float64(p.peer)).F("ok", 0).F("timeout", 1),
 			})
 		}
 	}
@@ -716,7 +714,7 @@ collect:
 			o.EmitSpan(obs.Span{
 				ID: roundSpan, Name: obs.SpanRound, Node: n.cfg.ID,
 				Start: roundStart, End: float64(time.Now().UnixNano()) / 1e9,
-				Fields: map[string]float64{"skip": 1, "failed": float64(failed)},
+				Fields: obs.F("skip", 1).F("failed", float64(failed)),
 			})
 		}
 		n.logf("sync: too few answers (%d) for f=%d", len(ests)-1, n.cfg.F)
@@ -740,14 +738,14 @@ collect:
 		o.EmitSpan(obs.Span{
 			ID: o.NextSpanID(), Parent: roundSpan, Name: obs.SpanAdjust, Node: n.cfg.ID,
 			Start: endU, End: endU,
-			Fields: map[string]float64{"delta": dd.Seconds()},
+			Fields: obs.F("delta", dd.Seconds()),
 		})
 		// Reading spans are simulator-only: the convergence verdict per
 		// estimate is recomputed in internal/core, which livenet bypasses.
 		o.EmitSpan(obs.Span{
 			ID: roundSpan, Name: obs.SpanRound, Node: n.cfg.ID,
 			Start: roundStart, End: endU,
-			Fields: map[string]float64{"delta": dd.Seconds(), "failed": float64(failed)},
+			Fields: obs.F("delta", dd.Seconds()).F("failed", float64(failed)),
 		})
 	}
 	n.logf("sync #%d: adjusted by %v (offset now %v)", n.Syncs(), dd, n.Offset())

@@ -54,6 +54,18 @@ type Network struct {
 	// Partitioned, when non-nil, reports link outage for a pair at send
 	// time (failure injection beyond the paper's model).
 	Partitioned func(from, to int, now simtime.Time) bool
+
+	// freeEnv recycles in-flight message envelopes. Each envelope carries a
+	// pre-bound delivery closure, so the per-send cost is one pooled event
+	// plus payload boxing — no closure allocation. Safe without locking: the
+	// simulator, and with it every Send and delivery, is single-threaded.
+	freeEnv []*envelope
+}
+
+// envelope is one in-flight message plus its reusable delivery closure.
+type envelope struct {
+	msg Message
+	fn  func()
 }
 
 // New wires a network over the given simulator, topology and delay model.
@@ -105,14 +117,39 @@ func (n *Network) Send(from, to int, payload any) {
 	}
 	sent := n.sim.Now()
 	d := n.delay.Sample(from, to, n.sim.Rand())
-	n.sim.After(d, func() {
-		h := n.handlers[to]
-		if h == nil {
-			return
-		}
-		n.counters[to].Delivered++
-		h(Message{From: from, To: to, Payload: payload, SentAt: sent, DeliveredAt: n.sim.Now()})
-	})
+	env := n.newEnvelope()
+	env.msg = Message{From: from, To: to, Payload: payload, SentAt: sent}
+	n.sim.After(d, env.fn)
+}
+
+// newEnvelope pops a recycled envelope or builds one with its delivery
+// closure bound once for the envelope's lifetime.
+func (n *Network) newEnvelope() *envelope {
+	if last := len(n.freeEnv) - 1; last >= 0 {
+		env := n.freeEnv[last]
+		n.freeEnv = n.freeEnv[:last]
+		return env
+	}
+	env := &envelope{}
+	env.fn = func() { n.deliver(env) }
+	return env
+}
+
+// deliver hands an envelope's message to the destination handler and recycles
+// the envelope. The envelope is recycled before the handler runs — handlers
+// send messages of their own, and reusing the hot envelope keeps the pool at
+// the network's maximum in-flight footprint.
+func (n *Network) deliver(env *envelope) {
+	msg := env.msg
+	env.msg = Message{} // drop the payload reference; the pool must not pin it
+	n.freeEnv = append(n.freeEnv, env)
+	h := n.handlers[msg.To]
+	if h == nil {
+		return
+	}
+	n.counters[msg.To].Delivered++
+	msg.DeliveredAt = n.sim.Now()
+	h(msg)
 }
 
 // SendToNeighbors transmits payload from `from` to every neighbor.

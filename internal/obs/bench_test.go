@@ -23,3 +23,13 @@ func TestObserverDisabledAllocFree(t *testing.T) {
 		t.Errorf("disabled observer path allocates: %d allocs/op", a)
 	}
 }
+
+// TestRoundSpanAllocBound pins the inline-Fields redesign: one fully traced
+// round (6 peers — 14 spans into a ring) must stay within 4 allocs/op. With
+// map-backed fields it cost 28.
+func TestRoundSpanAllocBound(t *testing.T) {
+	r := testing.Benchmark(obsbench.RoundSpan)
+	if a := r.AllocsPerOp(); a > 4 {
+		t.Errorf("traced round allocates %d allocs/op, want <= 4", a)
+	}
+}

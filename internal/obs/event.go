@@ -143,30 +143,33 @@ func (j *JSONL) Emit(e Event) {
 // kind "span" plus the span identity, so one stream carries both and
 // cmd/tracestat parses it with a single decoder.
 type spanRecord struct {
-	At     float64            `json:"at"`
-	Kind   string             `json:"kind"`
-	Node   int                `json:"node,omitempty"`
-	Name   string             `json:"name"`
-	Span   uint64             `json:"span"`
-	Parent uint64             `json:"parent,omitempty"`
-	Dur    float64            `json:"dur"`
-	Fields map[string]float64 `json:"fields,omitempty"`
+	At     float64 `json:"at"`
+	Kind   string  `json:"kind"`
+	Node   int     `json:"node,omitempty"`
+	Name   string  `json:"name"`
+	Span   uint64  `json:"span"`
+	Parent uint64  `json:"parent,omitempty"`
+	Dur    float64 `json:"dur"`
+	Fields *Fields `json:"fields,omitempty"`
 }
 
 // EmitSpan implements SpanSink.
 func (j *JSONL) EmitSpan(s Span) {
+	rec := spanRecord{
+		At:     s.Start,
+		Kind:   "span",
+		Node:   s.Node,
+		Name:   s.Name,
+		Span:   uint64(s.ID),
+		Parent: uint64(s.Parent),
+		Dur:    s.Dur(),
+	}
+	if s.Fields.Len() > 0 {
+		rec.Fields = &s.Fields
+	}
 	j.mu.Lock()
 	if j.err == nil && !j.closed {
-		j.err = j.enc.Encode(spanRecord{
-			At:     s.Start,
-			Kind:   "span",
-			Node:   s.Node,
-			Name:   s.Name,
-			Span:   uint64(s.ID),
-			Parent: uint64(s.Parent),
-			Dur:    s.Dur(),
-			Fields: s.Fields,
-		})
+		j.err = j.enc.Encode(rec)
 	}
 	j.mu.Unlock()
 }

@@ -62,21 +62,21 @@ func RoundSpan(b *testing.B) {
 			o.EmitSpan(obs.Span{
 				ID: est, Parent: round, Name: obs.SpanEstimate, Node: 0,
 				Start: 1, End: 1.05,
-				Fields: map[string]float64{"peer": float64(p), "d": 0.01, "a": 0.002, "rtt": 0.05, "ok": 1},
+				Fields: obs.F("peer", float64(p)).F("d", 0.01).F("a", 0.002).F("rtt", 0.05).F("ok", 1),
 			})
 			o.EmitSpan(obs.Span{
 				ID: o.NextSpanID(), Parent: est, Name: obs.SpanReading, Node: 0,
 				Start: 1.06, End: 1.06,
-				Fields: map[string]float64{"peer": float64(p), "accepted": 1, "lowtrim": 0, "hightrim": 0},
+				Fields: obs.F("peer", float64(p)).F("accepted", 1).F("lowtrim", 0).F("hightrim", 0),
 			})
 		}
 		o.EmitSpan(obs.Span{
 			ID: o.NextSpanID(), Parent: round, Name: obs.SpanAdjust, Node: 0,
-			Start: 1.06, End: 1.06, Fields: map[string]float64{"delta": -0.004, "wayoff": 0},
+			Start: 1.06, End: 1.06, Fields: obs.F("delta", -0.004).F("wayoff", 0),
 		})
 		o.EmitSpan(obs.Span{
 			ID: round, Name: obs.SpanRound, Node: 0, Start: 1, End: 1.06,
-			Fields: map[string]float64{"delta": -0.004, "wayoff": 0},
+			Fields: obs.F("delta", -0.004).F("wayoff", 0),
 		})
 	}
 }

@@ -1,6 +1,10 @@
 package obs
 
-import "sync"
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
 
 // The span layer makes a round's outcome causally traceable to individual
 // messages: each Sync execution opens a round span whose children are one
@@ -30,12 +34,122 @@ const (
 	SpanAdjust   = "adjust"   // the adjustment step of a round
 )
 
+// maxSpanFields bounds the inline field storage of a Span. The widest span
+// the instrumented layers emit is a reading span with six fields; the cap
+// leaves headroom without bloating every Span copy.
+const maxSpanFields = 8
+
+// Field is one key→value entry of a span's numeric payload.
+type Field struct {
+	Key string
+	Val float64
+}
+
+// Fields is a span's numeric payload: a small ordered key→value set stored
+// inline (no heap allocation), built by chaining F calls:
+//
+//	obs.F("peer", 3).F("rtt", 0.04)
+//
+// Emitting a span is on the per-round hot path of every traced protocol
+// execution; inline fields are what keep a fully traced round allocation-free
+// (BenchmarkRoundSpan pins this). Fields hold at most maxSpanFields entries;
+// exceeding the cap panics, as it is always an instrumentation bug. The JSON
+// encoding is an object with sorted keys, byte-compatible with the
+// map[string]float64 encoding earlier releases used.
+type Fields struct {
+	n  int32
+	kv [maxSpanFields]Field
+}
+
+// F starts a field set with one entry. It is the head of the builder chain.
+func F(key string, val float64) Fields {
+	var f Fields
+	return f.F(key, val)
+}
+
+// F returns a copy of the set with one more entry appended.
+func (f Fields) F(key string, val float64) Fields {
+	if int(f.n) == len(f.kv) {
+		panic("obs: span field cap exceeded")
+	}
+	f.kv[f.n] = Field{Key: key, Val: val}
+	f.n++
+	return f
+}
+
+// Len returns the number of entries.
+func (f Fields) Len() int { return int(f.n) }
+
+// Get returns the value for key, or 0 when absent — mirroring map indexing,
+// which consumers of the previous representation relied on.
+func (f Fields) Get(key string) float64 {
+	v, _ := f.Lookup(key)
+	return v
+}
+
+// Lookup returns the value for key and whether it is present.
+func (f Fields) Lookup(key string) (float64, bool) {
+	for i := 0; i < int(f.n); i++ {
+		if f.kv[i].Key == key {
+			return f.kv[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Each calls fn for every entry in insertion order.
+func (f Fields) Each(fn func(key string, val float64)) {
+	for i := 0; i < int(f.n); i++ {
+		fn(f.kv[i].Key, f.kv[i].Val)
+	}
+}
+
+// Map returns the entries as a freshly allocated map, for consumers that
+// want map semantics off the hot path.
+func (f Fields) Map() map[string]float64 {
+	if f.n == 0 {
+		return nil
+	}
+	m := make(map[string]float64, f.n)
+	for i := 0; i < int(f.n); i++ {
+		m[f.kv[i].Key] = f.kv[i].Val
+	}
+	return m
+}
+
+// MarshalJSON encodes the set as a JSON object with sorted keys — the same
+// bytes encoding/json produced for the map representation, so JSONL traces
+// and their golden files are unchanged.
+func (f Fields) MarshalJSON() ([]byte, error) {
+	return json.Marshal(f.Map())
+}
+
+// UnmarshalJSON decodes a JSON object into the set, so a Fields round-trips
+// through the JSONL encoding.
+func (f *Fields) UnmarshalJSON(data []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*f = Fields{}
+	// Sorted insertion keeps decoding deterministic.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		*f = f.F(k, m[k])
+	}
+	return nil
+}
+
 // Span is one completed span. Start and End are in seconds on the same
 // timebase as Event.At (simulation time for simulated runs, Unix time for
 // live nodes); zero-duration spans (Start == End) mark instantaneous
-// decisions such as readings. Fields carries the numeric payload; values
-// must be finite (encoding/json rejects infinities, and sinks are entitled
-// to encode).
+// decisions such as readings. Fields carries the numeric payload inline;
+// values must be finite (encoding/json rejects infinities, and sinks are
+// entitled to encode).
 type Span struct {
 	ID     SpanID
 	Parent SpanID // 0 for roots
@@ -43,7 +157,7 @@ type Span struct {
 	Node   int
 	Start  float64
 	End    float64
-	Fields map[string]float64
+	Fields Fields
 }
 
 // Dur returns the span's duration in seconds.

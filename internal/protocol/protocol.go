@@ -88,6 +88,12 @@ type Harness struct {
 	nonce   uint64
 	pending map[uint64]pendingPing
 	round   *estimationRound
+	// roundMem is the estimation round's reusable state — peers, nonces and
+	// results buffers survive across rounds, so a steady-state round costs
+	// one timeout closure, not one allocation per peer. roundGen guards the
+	// round timeout against firing into a later round.
+	roundMem estimationRound
+	roundGen uint64
 
 	// Custom handles payloads other than TimeReq/TimeResp (round-based
 	// baselines exchange their own message types). Nil for Sync.
@@ -115,11 +121,12 @@ type Harness struct {
 
 type pendingPing struct {
 	peer    int
+	idx     int          // slot in the round's results, -1 for standalone pings
 	sentAt  simtime.Time // local clock S at send
 	sentSim simtime.Time // simulation time at send (span timebase)
 	span    obs.SpanID   // estimation span, 0 when tracing is disabled
 	parent  obs.SpanID
-	done    func(Estimate)
+	done    func(Estimate) // standalone pings only; rounds route via idx
 }
 
 // NewHarness builds the harness for processor id and registers its network
@@ -198,7 +205,7 @@ func (h *Harness) Adjust(delta simtime.Duration) {
 // smashes the logical clock cannot starve the sync loop; this matches §3.3
 // ("Every SyncInt time units of local time", with the alarm surviving
 // break-ins).
-func (h *Harness) ScheduleLocal(d simtime.Duration, fn func()) *des.Event {
+func (h *Harness) ScheduleLocal(d simtime.Duration, fn func()) des.Event {
 	if d < 0 {
 		panic(fmt.Sprintf("protocol: negative local delay %v", d))
 	}
@@ -267,16 +274,59 @@ func (h *Harness) handleTimeResp(from int, resp TimeResp) {
 		h.Obs.EmitSpan(obs.Span{
 			ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: h.id,
 			Start: float64(p.sentSim), End: float64(h.sim.Now()),
-			Fields: map[string]float64{
-				"peer": float64(from),
-				"d":    float64(est.D),
-				"a":    float64(est.A),
-				"rtt":  float64(r.Sub(s)),
-				"ok":   1,
-			},
+			Fields: obs.F("peer", float64(from)).
+				F("d", float64(est.D)).
+				F("a", float64(est.A)).
+				F("rtt", float64(r.Sub(s))).
+				F("ok", 1),
 		})
 	}
+	if p.idx >= 0 {
+		h.roundDeliver(p.idx, est)
+		return
+	}
 	p.done(est)
+}
+
+// sendPing issues one clock request and registers it as pending. Exactly-once
+// completion is guaranteed by the pending map alone: whichever of response or
+// timeout claims the nonce first deletes it, and abortEstimation discards the
+// whole map.
+func (h *Harness) sendPing(peer, idx int, done func(Estimate)) uint64 {
+	h.nonce++
+	nonce := h.nonce
+	var span obs.SpanID
+	if h.Obs.SpansEnabled() {
+		span = h.Obs.NextSpanID()
+	}
+	h.pending[nonce] = pendingPing{
+		peer: peer, idx: idx, sentAt: h.LocalNow(), sentSim: h.sim.Now(),
+		span: span, parent: h.SpanParent, done: done,
+	}
+	h.net.Send(h.id, peer, TimeReq{Nonce: nonce})
+	return nonce
+}
+
+// failPending expires one pending ping: it emits the timeout observations and
+// returns the failed estimate. The caller has already removed the nonce.
+func (h *Harness) failPending(peer int, p pendingPing) Estimate {
+	if rec := h.Obs.Recorder(); rec != nil {
+		rec.EstimationTimeouts.Inc()
+		h.Obs.Emit(obs.Event{
+			At: float64(h.sim.Now()), Kind: obs.KindTimeout, Node: h.id,
+			Fields: map[string]float64{"peer": float64(peer)},
+		})
+	}
+	if p.span != 0 {
+		h.Obs.EmitSpan(obs.Span{
+			ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: h.id,
+			Start: float64(p.sentSim), End: float64(h.sim.Now()),
+			Fields: obs.F("peer", float64(peer)).F("ok", 0).F("timeout", 1),
+		})
+	}
+	fe := FailedEstimate(peer)
+	fe.Span = p.span
+	return fe
 }
 
 // Ping sends a single clock request to peer and invokes done exactly once:
@@ -284,91 +334,100 @@ func (h *Harness) handleTimeResp(from int, resp TimeResp) {
 // local clock. It is the primitive beneath estimation rounds and the
 // min-RTT-of-k refinement.
 func (h *Harness) Ping(peer int, timeout simtime.Duration, done func(Estimate)) {
-	h.nonce++
-	nonce := h.nonce
-	fired := false
-	once := func(e Estimate) {
-		if fired {
-			return
-		}
-		fired = true
-		done(e)
-	}
-	var span obs.SpanID
-	if h.Obs.SpansEnabled() {
-		span = h.Obs.NextSpanID()
-	}
-	h.pending[nonce] = pendingPing{
-		peer: peer, sentAt: h.LocalNow(), sentSim: h.sim.Now(),
-		span: span, parent: h.SpanParent, done: once,
-	}
-	h.net.Send(h.id, peer, TimeReq{Nonce: nonce})
+	nonce := h.sendPing(peer, -1, done)
 	h.ScheduleLocal(timeout, func() {
 		if p, still := h.pending[nonce]; still {
 			delete(h.pending, nonce)
-			if rec := h.Obs.Recorder(); rec != nil {
-				rec.EstimationTimeouts.Inc()
-				h.Obs.Emit(obs.Event{
-					At: float64(h.sim.Now()), Kind: obs.KindTimeout, Node: h.id,
-					Fields: map[string]float64{"peer": float64(peer)},
-				})
-			}
-			if p.span != 0 {
-				h.Obs.EmitSpan(obs.Span{
-					ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: h.id,
-					Start: float64(p.sentSim), End: float64(h.sim.Now()),
-					Fields: map[string]float64{
-						"peer": float64(peer), "ok": 0, "timeout": 1,
-					},
-				})
-			}
-			fe := FailedEstimate(peer)
-			fe.Span = p.span
-			once(fe)
+			p.done(h.failPending(peer, p))
 		}
 	})
 }
 
-// estimationRound gathers estimates for a set of peers in parallel.
+// estimationRound gathers estimates for a set of peers in parallel. One
+// instance per harness is reused across rounds (Harness.roundMem).
 type estimationRound struct {
 	got     int
+	peers   []int
+	nonces  []uint64
 	results []Estimate
+	timeout des.Event
 	done    func([]Estimate)
-	aborted bool
 }
 
 // EstimateAll pings every listed peer in parallel and calls done with one
 // estimate per peer (results[i] answers peers[i]) once all have answered or
 // timed out. All estimations run concurrently, as the analysis assumes
 // (§3.2), so a round occupies at most MaxWait of local time. Only one round
-// may be in flight per processor.
+// may be in flight per processor; the results slice is reused by the next
+// round, so done must copy anything it keeps.
+//
+// The whole round shares a single timeout event: every ping is sent at the
+// same instant, so one alarm at maxWait expires all unanswered peers at
+// exactly the per-ping deadlines, in send order — without allocating a
+// timer closure per peer.
 func (h *Harness) EstimateAll(peers []int, maxWait simtime.Duration, done func([]Estimate)) {
-	if h.round != nil && !h.round.aborted {
+	if h.round != nil {
 		panic(fmt.Sprintf("protocol: processor %d started overlapping estimation rounds", h.id))
 	}
-	r := &estimationRound{
-		results: make([]Estimate, len(peers)),
-		done:    done,
-	}
-	h.round = r
 	if len(peers) == 0 {
-		h.round = nil
 		done(nil)
 		return
 	}
+	r := &h.roundMem
+	r.got = 0
+	r.peers = peers
+	r.done = done
+	if cap(r.nonces) < len(peers) {
+		r.nonces = make([]uint64, len(peers))
+		r.results = make([]Estimate, len(peers))
+	}
+	r.nonces = r.nonces[:len(peers)]
+	r.results = r.results[:len(peers)]
+	h.round = r
+	h.roundGen++
+	gen := h.roundGen
 	for i, peer := range peers {
-		i := i
-		h.Ping(peer, maxWait, func(e Estimate) {
-			if r.aborted {
-				return
-			}
-			r.results[i] = e
-			r.got++
-			if r.got == len(r.results) {
-				h.round = nil
-				r.done(r.results)
-			}
-		})
+		r.nonces[i] = h.sendPing(peer, i, nil)
+	}
+	r.timeout = h.ScheduleLocal(maxWait, func() { h.roundTimeout(gen) })
+}
+
+// roundDeliver records one answered estimate and completes the round when it
+// is the last.
+func (h *Harness) roundDeliver(idx int, est Estimate) {
+	r := h.round
+	if r == nil {
+		return // response outlived its round (aborted between send and reply)
+	}
+	r.results[idx] = est
+	r.got++
+	if r.got == len(r.peers) {
+		r.timeout.Cancel()
+		h.round = nil
+		r.done(r.results)
+	}
+}
+
+// roundTimeout expires every still-unanswered peer of the round, in send
+// order, and completes it. The generation guard makes a stale alarm (from a
+// round that was aborted after its timeout was scheduled) a no-op.
+func (h *Harness) roundTimeout(gen uint64) {
+	r := h.round
+	if r == nil || h.roundGen != gen {
+		return
+	}
+	for i, nonce := range r.nonces {
+		p, still := h.pending[nonce]
+		if !still {
+			continue
+		}
+		delete(h.pending, nonce)
+		r.results[i] = h.failPending(r.peers[i], p)
+		r.got++
+	}
+	if r.got == len(r.peers) {
+		h.round = nil
+		r.done(r.results)
 	}
 }
 
@@ -376,10 +435,10 @@ func (h *Harness) EstimateAll(peers []int, maxWait simtime.Duration, done func([
 // will never fire.
 func (h *Harness) abortEstimation() {
 	if h.round != nil {
-		h.round.aborted = true
+		h.round.timeout.Cancel()
 		h.round = nil
 	}
-	h.pending = make(map[uint64]pendingPing)
+	clear(h.pending)
 }
 
 // PingBest performs k sequential pings to peer and returns (via done) the

@@ -116,6 +116,14 @@ type Scenario struct {
 	// nil. Tracing costs nothing when unset (see obs.Observer.SpansEnabled).
 	SpanSink obs.SpanSink
 
+	// ReuseSim, when non-nil, runs the scenario on this simulator instead of
+	// constructing a fresh one: Run resets it to Seed first (des.Sim.Reset),
+	// so the run is byte-identical to a fresh-simulator run while reusing the
+	// event arena — what lets campaign workers amortize allocation across
+	// thousands of runs. The caller must not use the simulator concurrently,
+	// and Result.Sim aliases it.
+	ReuseSim *des.Sim
+
 	// Check attaches the online invariant checker (internal/check) to the
 	// run: every Sync round is asserted against the Theorem 5 deviation
 	// envelope, the per-step discontinuity bound and the Equation 3 accuracy
@@ -230,7 +238,12 @@ func Run(s Scenario) (*Result, error) {
 		}
 	}
 
-	sim := des.New(s.Seed)
+	sim := s.ReuseSim
+	if sim != nil {
+		sim.Reset(s.Seed)
+	} else {
+		sim = des.New(s.Seed)
+	}
 	net := network.New(sim, s.Topology, s.Delay)
 	net.DropProb = s.DropProb
 	rng := sim.Rand()

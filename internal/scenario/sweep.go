@@ -3,14 +3,29 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"clocksync/internal/des"
 )
+
+// newWorkerSim builds the simulator a sweep worker reuses across its seeds.
+// The construction seed is irrelevant: Run resets the simulator to each
+// scenario's seed before running it.
+func newWorkerSim() *des.Sim { return des.New(0) }
 
 // Sweep runs independently-built scenarios, one per seed, concurrently, and
 // returns the results in seed order. Simulations are single-threaded and
 // fully independent, so a sweep parallelizes perfectly across cores;
 // experiments use it to report worst-over-seeds numbers instead of one
 // lucky run.
+//
+// Concurrency is bounded at GOMAXPROCS workers pulling seeds from a shared
+// counter: a 10 000-seed sweep runs on a fixed handful of goroutines instead
+// of 10 000, keeping scheduler and stack overhead flat (TestSweepGoroutineBound
+// pins the ceiling). Each worker reuses one simulator arena across its seeds
+// via ReuseSim, so steady-state sweeping allocates per run, not per event.
 //
 // When some seeds fail, Sweep still returns every successful result (failed
 // seeds leave a nil slot, preserving seed order) alongside an error joining
@@ -23,18 +38,33 @@ import (
 func Sweep(mk func(seed int64) Scenario, seeds []int64) ([]*Result, error) {
 	results := make([]*Result, len(seeds))
 	errs := make([]error, len(seeds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, seed := range seeds {
-		i, seed := i, seed
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := mk(seed)
-			s.Seed = seed
-			if s.Name != "" {
-				s.Name = fmt.Sprintf("%s/seed%d", s.Name, seed)
+			sim := newWorkerSim()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				seed := seeds[i]
+				s := mk(seed)
+				s.Seed = seed
+				if s.Name != "" {
+					s.Name = fmt.Sprintf("%s/seed%d", s.Name, seed)
+				}
+				if s.ReuseSim == nil {
+					s.ReuseSim = sim
+				}
+				results[i], errs[i] = Run(s)
 			}
-			results[i], errs[i] = Run(s)
 		}()
 	}
 	wg.Wait()

@@ -1,9 +1,13 @@
 package scenario
 
 import (
+	"bytes"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
+	"clocksync/internal/des"
 	"clocksync/internal/simtime"
 )
 
@@ -115,6 +119,76 @@ func TestSweepAllSeedsFail(t *testing.T) {
 	}
 	if WorstDeviation(results) != nil {
 		t.Error("WorstDeviation invented a result from all-nil input")
+	}
+}
+
+// goroutineID parses the running goroutine's ID out of its stack header —
+// test-only plumbing for pinning the worker-pool bound.
+func goroutineID() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	// "goroutine 123 [running]:" → "123"
+	rest := strings.TrimPrefix(string(buf), "goroutine ")
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// TestSweepGoroutineBound pins the worker-pool regression: a sweep over many
+// seeds must run on at most GOMAXPROCS goroutines, not one goroutine per
+// seed. Each mk call records its goroutine; the distinct count is exact (no
+// sampling races), so a return to goroutine-per-seed fails deterministically.
+func TestSweepGoroutineBound(t *testing.T) {
+	var mu sync.Mutex
+	workers := map[string]bool{}
+	mk := func(int64) Scenario {
+		mu.Lock()
+		workers[goroutineID()] = true
+		mu.Unlock()
+		s := baseScenario()
+		s.Duration = 30 * simtime.Second
+		return s
+	}
+	seeds := make([]int64, 64)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	if _, err := Sweep(mk, seeds); err != nil {
+		t.Fatal(err)
+	}
+	if got, max := len(workers), runtime.GOMAXPROCS(0); got > max {
+		t.Fatalf("sweep used %d goroutines for %d seeds, want <= GOMAXPROCS (%d)",
+			got, len(seeds), max)
+	}
+}
+
+// TestSweepSimReuseReplaysByteIdentically pins the ReuseSim contract at the
+// scenario level: running a scenario on a simulator dirtied by a different
+// seed must produce a byte-identical trace to a fresh-simulator run.
+func TestSweepSimReuseReplaysByteIdentically(t *testing.T) {
+	run := func(seed int64, sim *des.Sim) []byte {
+		var buf bytes.Buffer
+		s := baseScenario()
+		s.Seed = seed
+		s.Duration = 2 * simtime.Minute
+		s.TraceWriter = &buf
+		s.ReuseSim = sim
+		if _, err := Run(s); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	fresh := run(42, nil)
+
+	sim := des.New(0)
+	run(7, sim) // dirty the arena with a different seed's full run
+	reused := run(42, sim)
+
+	if !bytes.Equal(fresh, reused) {
+		t.Fatalf("reused-simulator trace differs from fresh run:\nfresh  %d bytes\nreused %d bytes",
+			len(fresh), len(reused))
 	}
 }
 

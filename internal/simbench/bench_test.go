@@ -1,0 +1,35 @@
+package simbench
+
+import "testing"
+
+func BenchmarkSimulatorEvents(b *testing.B)     { SimulatorEvents(b) }
+func BenchmarkConvergenceFunction(b *testing.B) { ConvergenceFunction(b) }
+func BenchmarkClusterMinuteN7(b *testing.B)     { ClusterMinute(b, 7) }
+func BenchmarkCampaignThroughput(b *testing.B)  { CampaignThroughput(b) }
+
+// The alloc-budget pins run in plain `go test`, so a hot-path allocation
+// regression fails CI without anyone comparing benchmark output by hand.
+// BENCH_sim.json records the corresponding ns/op baselines.
+
+// TestSimulatorEventsAllocFree pins the arena design: schedule-and-fire of
+// pooled events must not allocate.
+func TestSimulatorEventsAllocFree(t *testing.T) {
+	r := testing.Benchmark(SimulatorEvents)
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Errorf("After+fire path allocates: %d allocs/op, want 0", a)
+	}
+}
+
+// TestConvergenceFunctionAllocFree pins the pooled scratch: the convergence
+// function must not allocate in steady state.
+func TestConvergenceFunctionAllocFree(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool deliberately drops items at random under the race
+		// detector, so the pooled scratch misses and the count is unstable.
+		t.Skip("alloc count not stable under -race")
+	}
+	r := testing.Benchmark(ConvergenceFunction)
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Errorf("Converge allocates: %d allocs/op, want 0", a)
+	}
+}

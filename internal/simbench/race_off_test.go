@@ -1,0 +1,5 @@
+//go:build !race
+
+package simbench
+
+const raceEnabled = false
