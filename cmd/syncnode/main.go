@@ -10,7 +10,11 @@
 //	...
 //
 // Each node periodically prints its offset from the host clock; -offset and
-// -drift-ppm synthesize a bad local clock for demonstrations.
+// -drift-ppm synthesize a bad local clock for demonstrations, and
+// -transport faultudp with the -fault-* knobs degrades the node's own
+// outbound traffic (seeded drops, duplication, reordering, extra delay)
+// for soak-testing the retry and peer-health machinery. See
+// docs/LIVENET.md.
 package main
 
 import (
@@ -25,8 +29,10 @@ import (
 	"syscall"
 	"time"
 
+	"clocksync/internal/adversary"
 	"clocksync/internal/livenet"
 	"clocksync/internal/obs"
+	"clocksync/internal/simtime"
 )
 
 func main() {
@@ -53,6 +59,17 @@ func run() error {
 		metrics  = flag.String("metrics-addr", "", "HTTP address serving /metrics, /status and /debug/pprof (empty = off)")
 		traceOut = flag.String("trace-out", "", "append the node's observability event stream as JSON lines to this file; readable with tracestat")
 		traceSp  = flag.Bool("trace-spans", false, "also record causal spans (round/estimate/adjust) into -trace-out")
+
+		transport = flag.String("transport", "udp", `datagram transport: "udp", or "faultudp" to wrap UDP in seeded fault injection (tune with -fault-*)`)
+		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault-injecting transport; same seed + traffic = same packet fates")
+		faultDrop = flag.Float64("fault-drop", 0, "faultudp: P(outbound message silently lost), in [0,1)")
+		faultDup  = flag.Float64("fault-dup", 0, "faultudp: P(outbound message sent twice), in [0,1)")
+		faultReo  = flag.Float64("fault-reorder", 0, "faultudp: P(outbound message held past its successor), in [0,1)")
+		faultDel  = flag.Duration("fault-delay-max", 0, "faultudp: extra delivery delay, uniform in [0, this)")
+
+		retryAtt  = flag.Int("retry-attempts", 0, "sends per peer per round incl. the first (0 = default 3, 1 disables retries)")
+		retryInit = flag.Duration("retry-initial", 0, "delay before the first retransmission (0 = maxwait/8)")
+		darkAfter = flag.Int("dark-after", 0, "consecutive silent rounds before a peer is written off as dark (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -85,6 +102,27 @@ func run() error {
 			fh.Close()
 		}
 	}
+	logf := log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Ltime|log.Lmicroseconds).Printf
+	tr, err := buildTransport(transportOpts{
+		kind:   *transport,
+		listen: *listen,
+		id:     *id,
+		peers:  peers,
+		seed:   *faultSeed,
+		chaos: adversary.PacketChaos{
+			DropP:    *faultDrop,
+			DupP:     *faultDup,
+			ReorderP: *faultReo,
+			DelayMax: simtime.Duration(faultDel.Seconds()),
+		},
+		logf: logf,
+	})
+	if err != nil {
+		if closeTrace != nil {
+			closeTrace()
+		}
+		return err
+	}
 	node, err := livenet.New(livenet.Config{
 		ID:          *id,
 		F:           *f,
@@ -94,14 +132,20 @@ func run() error {
 		MaxWait:     *maxWait,
 		WayOff:      *wayOff,
 		Key:         []byte(*key),
+		Transport:   tr,
+		Retry:       livenet.RetryConfig{Attempts: *retryAtt, Initial: *retryInit},
+		DarkAfter:   *darkAfter,
 		SimOffset:   *offset,
 		SimDriftPPM: *drift,
 		Ops: livenet.OpsConfig{
 			Observer: observer,
-			Logf:     log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Ltime|log.Lmicroseconds).Printf,
+			Logf:     logf,
 		},
 	})
 	if err != nil {
+		if tr != nil {
+			tr.Close()
+		}
 		if closeTrace != nil {
 			closeTrace()
 		}
@@ -110,7 +154,12 @@ func run() error {
 	if closeTrace != nil {
 		defer closeTrace()
 	}
-	log.Printf("node %d listening on %s with %d peers (f=%d)", *id, node.Addr(), len(peers), *f)
+	// Route the fault transport's injection counters onto the node's own
+	// recorder so clocksync_faultnet_* shows up on this node's /metrics.
+	if ft, ok := tr.(*livenet.FaultTransport); ok {
+		ft.SetRecorder(node.Metrics())
+	}
+	log.Printf("node %d listening on %s with %d peers (f=%d, transport=%s)", *id, node.Addr(), len(peers), *f, *transport)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -154,6 +203,61 @@ func run() error {
 		}()
 	}
 	return node.Run(ctx)
+}
+
+// transportOpts collects everything buildTransport needs, so tests can
+// exercise the selection logic without flag plumbing.
+type transportOpts struct {
+	kind   string
+	listen string
+	id     int
+	peers  map[int]string
+	seed   int64
+	chaos  adversary.PacketChaos
+	logf   func(format string, args ...any)
+}
+
+// buildTransport resolves the -transport flag. "udp" returns nil — livenet
+// opens its own socket on the listen address — while "faultudp" opens the
+// socket here and wraps it in a seeded FaultTransport applying the ambient
+// -fault-* chaos to this node's outbound traffic (structured crash/partition
+// schedules are a harness feature; the CLI exposes the ambient knobs).
+func buildTransport(o transportOpts) (livenet.Transport, error) {
+	switch o.kind {
+	case "udp":
+		if !o.chaos.Zero() {
+			return nil, fmt.Errorf("-fault-drop/-dup/-reorder/-delay-max need -transport faultudp")
+		}
+		return nil, nil
+	case "faultudp":
+		if err := o.chaos.Validate(); err != nil {
+			return nil, err
+		}
+		udp, err := livenet.NewUDPTransport(o.listen)
+		if err != nil {
+			return nil, err
+		}
+		// The schedule speaks node ids; invert the peer table so fault
+		// decisions can resolve datagram addresses back to them.
+		byAddr := make(map[string]int, len(o.peers))
+		for pid, addr := range o.peers {
+			byAddr[addr] = pid
+		}
+		return livenet.NewFaultTransport(udp, livenet.FaultConfig{
+			Seed:     o.seed,
+			Node:     o.id,
+			Schedule: adversary.NetSchedule{Chaos: o.chaos},
+			Resolve: func(addr string) int {
+				if pid, ok := byAddr[addr]; ok {
+					return pid
+				}
+				return -1
+			},
+			Logf: o.logf,
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown -transport %q (want udp or faultudp)", o.kind)
+	}
 }
 
 // parsePeers parses "1=host:port,2=host:port" into a peer table.

@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/livenet"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -33,5 +36,54 @@ func TestParsePeersErrors(t *testing.T) {
 		if _, err := parsePeers(tc.arg, 0); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("parsePeers(%q): got %v, want %q", tc.arg, err, tc.want)
 		}
+	}
+}
+
+func TestBuildTransportUDPDefault(t *testing.T) {
+	// Plain UDP returns nil: livenet opens the socket itself.
+	tr, err := buildTransport(transportOpts{kind: "udp", listen: "127.0.0.1:0"})
+	if err != nil || tr != nil {
+		t.Fatalf("buildTransport(udp) = %v, %v; want nil, nil", tr, err)
+	}
+}
+
+func TestBuildTransportRejectsBadInputs(t *testing.T) {
+	if _, err := buildTransport(transportOpts{kind: "carrier-pigeon"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown -transport") {
+		t.Errorf("unknown transport kind: %v", err)
+	}
+	// Fault knobs without the fault transport are a misconfiguration, not a
+	// silent no-op.
+	if _, err := buildTransport(transportOpts{
+		kind: "udp", chaos: adversary.PacketChaos{DropP: 0.1},
+	}); err == nil || !strings.Contains(err.Error(), "faultudp") {
+		t.Errorf("chaos on plain udp: %v", err)
+	}
+	// Invalid chaos parameters are rejected before any socket is opened.
+	if _, err := buildTransport(transportOpts{
+		kind: "faultudp", listen: "127.0.0.1:0", chaos: adversary.PacketChaos{DropP: 1.5},
+	}); err == nil || !strings.Contains(err.Error(), "DropP") {
+		t.Errorf("invalid chaos: %v", err)
+	}
+}
+
+func TestBuildTransportFaultUDPResolvesPeers(t *testing.T) {
+	tr, err := buildTransport(transportOpts{
+		kind:   "faultudp",
+		listen: "127.0.0.1:0",
+		id:     0,
+		peers:  map[int]string{1: "127.0.0.1:9001"},
+		seed:   7,
+		chaos:  adversary.PacketChaos{DropP: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, ok := tr.(*livenet.FaultTransport); !ok {
+		t.Fatalf("buildTransport(faultudp) = %T, want *livenet.FaultTransport", tr)
+	}
+	if tr.LocalAddr() == "" {
+		t.Fatal("fault transport has no bound address")
 	}
 }

@@ -1,0 +1,297 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"clocksync/internal/simtime"
+)
+
+// This file extends the adversary model from processor corruption to the
+// network itself, for the live-network path (internal/livenet): the same
+// f-limited mobile adversary of Definition 2, but expressed as message-level
+// faults — drops, duplication, reordering, bounded extra delay, partitions
+// and node crash/restart — instead of protocol behaviors. A NetSchedule is
+// the static, seed-reproducible description of one chaos run; its structured
+// faults map onto ordinary Corruption windows so the Definition 2 budget is
+// checked by the exact same sweep Schedule.Validate uses.
+
+// PacketChaos is ambient, per-packet network noise applied for the whole
+// run: every message independently risks being dropped, duplicated,
+// reordered past its successor, or delivered with bounded extra delay.
+// Packet fates are derived by hashing the seed with the message bytes, so a
+// given schedule inflicts the same fate on the same message regardless of
+// goroutine interleaving.
+type PacketChaos struct {
+	DropP    float64          // P(message silently lost)
+	DupP     float64          // P(message delivered twice)
+	ReorderP float64          // P(message held back past its successor)
+	DelayMax simtime.Duration // extra delivery delay, uniform in [0, DelayMax]
+}
+
+// Validate checks the probabilities and the delay bound.
+func (p PacketChaos) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"DropP", p.DropP}, {"DupP", p.DupP}, {"ReorderP", p.ReorderP}} {
+		if pr.v < 0 || pr.v >= 1 {
+			return fmt.Errorf("adversary: PacketChaos.%s %g outside [0,1)", pr.name, pr.v)
+		}
+	}
+	if p.DelayMax < 0 {
+		return fmt.Errorf("adversary: negative PacketChaos.DelayMax %v", p.DelayMax)
+	}
+	return nil
+}
+
+// Zero reports whether the chaos injects nothing.
+func (p PacketChaos) Zero() bool {
+	return p.DropP == 0 && p.DupP == 0 && p.ReorderP == 0 && p.DelayMax == 0
+}
+
+// NetFaultKind enumerates the structured (windowed) network faults.
+type NetFaultKind int
+
+const (
+	// FaultCrash silences the victim nodes completely during the window:
+	// nothing they send leaves, nothing sent to them arrives — a process
+	// crash with restart at the window's end. Scramble, when non-zero, is
+	// the clock error the node restarts with (state lost on the way down).
+	FaultCrash NetFaultKind = iota
+	// FaultPartition cuts traffic between the victim nodes and the rest of
+	// the cluster during the window. Victims keep talking to each other.
+	// When Asymmetric, only traffic FROM the rest TO the victims is cut —
+	// victims shout into a network they cannot hear.
+	FaultPartition
+)
+
+// String names the kind.
+func (k NetFaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("netfault(%d)", int(k))
+	}
+}
+
+// NetFault is one structured network fault window: the victims are
+// unreachable (crash) or cut off (partition) during [From, To).
+type NetFault struct {
+	Kind       NetFaultKind
+	Nodes      []int // victims; counted against the Definition 2 budget
+	From, To   simtime.Time
+	Asymmetric bool             // partitions only: one-way cut (rest → victims)
+	Scramble   simtime.Duration // crashes only: clock error on restart
+}
+
+// NetSchedule is a full chaos plan for one live run: ambient packet noise
+// plus structured fault windows. It is the livenet analogue of Schedule.
+type NetSchedule struct {
+	Chaos  PacketChaos
+	Faults []NetFault
+}
+
+// Corruptions maps the structured faults onto the processor-corruption
+// schedule they are equivalent to under Definition 2: every victim of every
+// window is "controlled" for that window (crashed and partitioned nodes
+// alike cannot act as good processors). The ambient packet chaos does not
+// appear — it is in-model noise the protocol must absorb, not a corruption.
+func (s NetSchedule) Corruptions() Schedule {
+	var out Schedule
+	for _, f := range s.Faults {
+		for _, node := range f.Nodes {
+			out.Corruptions = append(out.Corruptions, Corruption{
+				Node: node, From: f.From, To: f.To, Behavior: Crash{},
+			})
+		}
+	}
+	// Schedule.Validate rejects per-node overlap; merge overlapping windows
+	// of the same node so that e.g. a crash inside a partition validates.
+	return mergePerNode(out)
+}
+
+// mergePerNode coalesces overlapping or touching corruption windows of the
+// same node into one, keeping the sweep semantics identical.
+func mergePerNode(in Schedule) Schedule {
+	perNode := make(map[int][]Corruption)
+	for _, c := range in.Corruptions {
+		perNode[c.Node] = append(perNode[c.Node], c)
+	}
+	var out Schedule
+	nodes := make([]int, 0, len(perNode))
+	for node := range perNode {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		cs := perNode[node]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].From < cs[j].From })
+		cur := cs[0]
+		for _, c := range cs[1:] {
+			if c.From <= cur.To {
+				if c.To > cur.To {
+					cur.To = c.To
+				}
+				continue
+			}
+			out.Corruptions = append(out.Corruptions, cur)
+			cur = c
+		}
+		out.Corruptions = append(out.Corruptions, cur)
+	}
+	return out
+}
+
+// Validate checks the whole plan: packet-chaos parameters, fault-window
+// sanity, and — via the Corruptions mapping — that the structured faults
+// stay within the Definition 2 budget of an f-limited adversary with period
+// theta over n processors.
+func (s NetSchedule) Validate(n, f int, theta simtime.Duration) error {
+	if err := s.Chaos.Validate(); err != nil {
+		return err
+	}
+	for i, fa := range s.Faults {
+		if len(fa.Nodes) == 0 {
+			return fmt.Errorf("adversary: net fault %d has no victims", i)
+		}
+		seen := make(map[int]bool, len(fa.Nodes))
+		for _, node := range fa.Nodes {
+			if node < 0 || node >= n {
+				return fmt.Errorf("adversary: net fault %d targets node %d outside [0,%d)", i, node, n)
+			}
+			if seen[node] {
+				return fmt.Errorf("adversary: net fault %d lists node %d twice", i, node)
+			}
+			seen[node] = true
+		}
+		if fa.To <= fa.From {
+			return fmt.Errorf("adversary: net fault %d has empty window [%v,%v)", i, fa.From, fa.To)
+		}
+		if fa.Kind != FaultCrash && fa.Scramble != 0 {
+			return fmt.Errorf("adversary: net fault %d sets Scramble on a %v (crashes only)", i, fa.Kind)
+		}
+		if fa.Kind != FaultPartition && fa.Asymmetric {
+			return fmt.Errorf("adversary: net fault %d sets Asymmetric on a %v (partitions only)", i, fa.Kind)
+		}
+	}
+	return s.Corruptions().Validate(n, f, theta)
+}
+
+// CrashedAt reports whether node is inside a crash window at instant t.
+func (s NetSchedule) CrashedAt(node int, t simtime.Time) bool {
+	for _, f := range s.Faults {
+		if f.Kind != FaultCrash || t < f.From || t >= f.To {
+			continue
+		}
+		for _, v := range f.Nodes {
+			if v == node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Blocks reports whether a message sent from → to at instant t is cut by a
+// structured fault (crash of either endpoint, or an active partition
+// separating them in that direction). Ambient packet chaos is not consulted.
+func (s NetSchedule) Blocks(from, to int, t simtime.Time) bool {
+	for _, f := range s.Faults {
+		if t < f.From || t >= f.To {
+			continue
+		}
+		switch f.Kind {
+		case FaultCrash:
+			for _, v := range f.Nodes {
+				if v == from || v == to {
+					return true
+				}
+			}
+		case FaultPartition:
+			fromIn, toIn := false, false
+			for _, v := range f.Nodes {
+				if v == from {
+					fromIn = true
+				}
+				if v == to {
+					toIn = true
+				}
+			}
+			if fromIn == toIn {
+				continue // same side; unaffected
+			}
+			if f.Asymmetric && fromIn {
+				continue // victims may still send out
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// End returns the latest window end in the schedule (0 when no structured
+// faults are present).
+func (s NetSchedule) End() simtime.Time {
+	var end simtime.Time
+	for _, f := range s.Faults {
+		if f.To > end {
+			end = f.To
+		}
+	}
+	return end
+}
+
+// GenNetConfig tunes GenNetSchedule.
+type GenNetConfig struct {
+	N, F    int
+	Theta   simtime.Duration // adversary period (Definition 2)
+	Start   simtime.Time     // first window begins here (leave warm-up clean)
+	Horizon simtime.Time     // no window extends past this instant
+	Dwell   simtime.Duration // window length (0 → Theta/4)
+	// Scramble is the restart clock error of crash faults (0 → none).
+	Scramble simtime.Duration
+	Chaos    PacketChaos
+}
+
+// GenNetSchedule draws a random valid-by-construction f-limited chaos plan:
+// fault epochs of up to f victims each, alternating crash and partition
+// windows, spaced more than Θ + dwell apart so that no Θ-window ever sees
+// two epochs — hence never more than f controlled processors. The result is
+// a pure function of the seed and config, and always validates.
+func GenNetSchedule(seed int64, cfg GenNetConfig) NetSchedule {
+	if cfg.N < 2 || cfg.F < 1 || cfg.Theta <= 0 {
+		panic(fmt.Sprintf("adversary: bad GenNetSchedule(n=%d, f=%d, Θ=%v)", cfg.N, cfg.F, cfg.Theta))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dwell := cfg.Dwell
+	if dwell <= 0 {
+		dwell = cfg.Theta / 4
+	}
+	s := NetSchedule{Chaos: cfg.Chaos}
+	// Epochs strictly more than Θ + dwell apart: the extended intervals
+	// [From−Θ, To] of two consecutive epochs can then never overlap.
+	stride := cfg.Theta + 2*dwell + simtime.Millisecond
+	for at := cfg.Start; at.Add(dwell) < cfg.Horizon; at = at.Add(stride) {
+		k := 1 + rng.Intn(cfg.F)
+		victims := rng.Perm(cfg.N)[:k]
+		sort.Ints(victims)
+		fault := NetFault{Nodes: victims, From: at, To: at.Add(dwell)}
+		if rng.Intn(2) == 0 {
+			fault.Kind = FaultCrash
+			fault.Scramble = cfg.Scramble
+		} else {
+			fault.Kind = FaultPartition
+			fault.Asymmetric = rng.Intn(3) == 0
+		}
+		s.Faults = append(s.Faults, fault)
+	}
+	if err := s.Validate(cfg.N, cfg.F, cfg.Theta); err != nil {
+		panic(fmt.Sprintf("adversary: generated schedule invalid (bug): %v", err))
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package adversary
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"clocksync/internal/simtime"
+)
+
+func TestPacketChaosValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    PacketChaos
+		ok   bool
+	}{
+		{"zero", PacketChaos{}, true},
+		{"typical", PacketChaos{DropP: 0.05, DupP: 0.02, ReorderP: 0.02, DelayMax: 0.1}, true},
+		{"drop of one", PacketChaos{DropP: 1}, false},
+		{"negative dup", PacketChaos{DupP: -0.1}, false},
+		{"reorder above one", PacketChaos{ReorderP: 1.5}, false},
+		{"negative delay", PacketChaos{DelayMax: -1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	if !(PacketChaos{}).Zero() {
+		t.Error("zero chaos not Zero()")
+	}
+	if (PacketChaos{DropP: 0.1}).Zero() {
+		t.Error("non-zero chaos reported Zero()")
+	}
+}
+
+func TestNetScheduleValidateWindows(t *testing.T) {
+	theta := simtime.Duration(16)
+	cases := []struct {
+		name    string
+		fault   NetFault
+		wantErr string
+	}{
+		{"no victims", NetFault{Kind: FaultCrash, From: 1, To: 2}, "no victims"},
+		{"victim out of range", NetFault{Kind: FaultCrash, Nodes: []int{7}, From: 1, To: 2}, "outside"},
+		{"duplicate victim", NetFault{Kind: FaultCrash, Nodes: []int{1, 1}, From: 1, To: 2}, "twice"},
+		{"empty window", NetFault{Kind: FaultCrash, Nodes: []int{1}, From: 2, To: 2}, "empty window"},
+		{"scramble on partition", NetFault{Kind: FaultPartition, Nodes: []int{1}, From: 1, To: 2, Scramble: 5}, "Scramble"},
+		{"asymmetric crash", NetFault{Kind: FaultCrash, Nodes: []int{1}, From: 1, To: 2, Asymmetric: true}, "Asymmetric"},
+	}
+	for _, tc := range cases {
+		s := NetSchedule{Faults: []NetFault{tc.fault}}
+		err := s.Validate(7, 2, theta)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: Validate() = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestNetScheduleBudget(t *testing.T) {
+	theta := simtime.Duration(16)
+	// Two victims inside one window: within f=2, over f=1.
+	s := NetSchedule{Faults: []NetFault{
+		{Kind: FaultCrash, Nodes: []int{0, 3}, From: 10, To: 14},
+	}}
+	if err := s.Validate(7, 2, theta); err != nil {
+		t.Fatalf("f=2 schedule rejected: %v", err)
+	}
+	if err := s.Validate(7, 1, theta); err == nil {
+		t.Fatal("two simultaneous victims accepted under f=1")
+	}
+	// Two windows closer than Θ share a Definition 2 window: their victim
+	// sets count together.
+	near := NetSchedule{Faults: []NetFault{
+		{Kind: FaultCrash, Nodes: []int{0, 1}, From: 10, To: 12},
+		{Kind: FaultPartition, Nodes: []int{2}, From: 14, To: 16},
+	}}
+	if err := near.Validate(7, 2, theta); err == nil {
+		t.Fatal("three victims within one Θ window accepted under f=2")
+	}
+	// The same windows spaced beyond Θ pass.
+	far := NetSchedule{Faults: []NetFault{
+		{Kind: FaultCrash, Nodes: []int{0, 1}, From: 10, To: 12},
+		{Kind: FaultPartition, Nodes: []int{2}, From: 40, To: 42},
+	}}
+	if err := far.Validate(7, 2, theta); err != nil {
+		t.Fatalf("well-spaced schedule rejected: %v", err)
+	}
+}
+
+func TestNetScheduleCorruptionsMergesOverlaps(t *testing.T) {
+	// A crash nested inside a partition of the same node must fold into one
+	// corruption window (Schedule.Validate rejects per-node overlap).
+	s := NetSchedule{Faults: []NetFault{
+		{Kind: FaultPartition, Nodes: []int{1}, From: 10, To: 20},
+		{Kind: FaultCrash, Nodes: []int{1}, From: 12, To: 15},
+	}}
+	cor := s.Corruptions()
+	if len(cor.Corruptions) != 1 {
+		t.Fatalf("overlapping windows not merged: %+v", cor.Corruptions)
+	}
+	c := cor.Corruptions[0]
+	if c.Node != 1 || c.From != 10 || c.To != 20 {
+		t.Fatalf("merged window wrong: %+v", c)
+	}
+	if err := s.Validate(7, 1, 16); err != nil {
+		t.Fatalf("nested windows of one node rejected: %v", err)
+	}
+}
+
+func TestCrashedAtAndBlocks(t *testing.T) {
+	s := NetSchedule{Faults: []NetFault{
+		{Kind: FaultCrash, Nodes: []int{2}, From: 10, To: 20},
+		{Kind: FaultPartition, Nodes: []int{4, 5}, From: 30, To: 40},
+		{Kind: FaultPartition, Nodes: []int{1}, From: 50, To: 60, Asymmetric: true},
+	}}
+	if !s.CrashedAt(2, 15) || s.CrashedAt(2, 20) || s.CrashedAt(3, 15) {
+		t.Error("CrashedAt window semantics wrong (half-open [From, To), victim-only)")
+	}
+	// Crash blocks both directions.
+	if !s.Blocks(2, 0, 15) || !s.Blocks(0, 2, 15) {
+		t.Error("crash does not cut traffic both ways")
+	}
+	if s.Blocks(0, 1, 15) {
+		t.Error("crash of node 2 cuts unrelated traffic")
+	}
+	// Symmetric partition: cross-traffic cut both ways, intra-side kept.
+	if !s.Blocks(4, 0, 35) || !s.Blocks(0, 4, 35) {
+		t.Error("symmetric partition lets cross-traffic through")
+	}
+	if s.Blocks(4, 5, 35) || s.Blocks(0, 3, 35) {
+		t.Error("partition cuts same-side traffic")
+	}
+	// Asymmetric: victims may send out; only rest → victims is cut.
+	if s.Blocks(1, 0, 55) {
+		t.Error("asymmetric partition blocks the victim's outbound traffic")
+	}
+	if !s.Blocks(0, 1, 55) {
+		t.Error("asymmetric partition lets inbound traffic reach the victim")
+	}
+	if got := s.End(); got != 60 {
+		t.Errorf("End() = %v, want 60", got)
+	}
+}
+
+func TestGenNetScheduleDeterministicAndValid(t *testing.T) {
+	cfg := GenNetConfig{
+		N: 7, F: 2, Theta: 16, Start: 12, Horizon: 200, Scramble: 20,
+		Chaos: PacketChaos{DropP: 0.05},
+	}
+	a := GenNetSchedule(42, cfg)
+	b := GenNetSchedule(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different schedules")
+	}
+	if len(a.Faults) < 2 {
+		t.Fatalf("200s horizon produced only %d fault epochs", len(a.Faults))
+	}
+	if err := a.Validate(cfg.N, cfg.F, cfg.Theta); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	c := GenNetSchedule(43, cfg)
+	if reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Fatal("different seeds, identical fault plans")
+	}
+	for _, f := range a.Faults {
+		if len(f.Nodes) > cfg.F {
+			t.Fatalf("epoch exceeds victim budget: %+v", f)
+		}
+		if f.Kind == FaultCrash && f.Scramble != cfg.Scramble {
+			t.Fatalf("crash epoch lost the configured scramble: %+v", f)
+		}
+	}
+}

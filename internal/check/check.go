@@ -67,11 +67,42 @@ func (v Violation) String() string {
 		v.Invariant, v.At, v.Node, v.Observed, v.Bound, v.Detail)
 }
 
+// BiasSource exposes one processor's clock as an offset from real time at a
+// given instant — the only clock access the invariants need. *clock.Local
+// satisfies it directly (simulation runs); live harnesses adapt a running
+// node's measurable offset (see livenet's chaos harness). Implementations
+// are read at check instants only and need not be monotone between reads.
+type BiasSource interface {
+	Bias(at simtime.Time) simtime.Duration
+}
+
+// Scheduler schedules a callback at an absolute instant — the seam that lets
+// recovery checkpoints run both on the discrete-event simulator (via Attach)
+// and on wall-clock timers in a live cluster.
+type Scheduler interface {
+	At(t simtime.Time, fn func())
+}
+
+// SchedulerFunc adapts a function to a Scheduler.
+type SchedulerFunc func(t simtime.Time, fn func())
+
+// At implements Scheduler.
+func (f SchedulerFunc) At(t simtime.Time, fn func()) { f(t, fn) }
+
+// FromClocks adapts simulator clocks to the BiasSource slice Config wants.
+func FromClocks(clocks []*clock.Local) []BiasSource {
+	out := make([]BiasSource, len(clocks))
+	for i, c := range clocks {
+		out[i] = c
+	}
+	return out
+}
+
 // Config parameterizes a Checker. Clocks, Schedule, Bounds and Theta come
 // from the run being checked; SkipBefore excludes the warm-up transient the
 // guarantees do not cover (they assume a synchronized start).
 type Config struct {
-	Clocks   []*clock.Local
+	Clocks   []BiasSource
 	Schedule adversary.Schedule
 	Bounds   analysis.Bounds
 	Theta    simtime.Duration
@@ -134,12 +165,21 @@ func New(cfg Config) *Checker {
 	return c
 }
 
-// Attach schedules the Lemma 7(iii) recovery checkpoints on the simulator:
-// for every corruption released at τ_r ≥ SkipBefore, the recovering
-// processor's distance to the good range is measured at τ_r + k·T for
-// k = 1..K (stopping early if the node is corrupted again). Call it once,
-// before the run starts.
+// Attach schedules the Lemma 7(iii) recovery checkpoints on the simulator.
+// It is AttachScheduler specialized to *des.Sim, kept for the common case.
 func (c *Checker) Attach(sim *des.Sim) {
+	c.AttachScheduler(SchedulerFunc(func(t simtime.Time, fn func()) { sim.At(t, fn) }))
+}
+
+// AttachScheduler schedules the Lemma 7(iii) recovery checkpoints: for every
+// corruption released at τ_r ≥ SkipBefore, the recovering processor's
+// distance to the good range is measured at τ_r + k·T for k = 1..K
+// (stopping early if the node is corrupted again). Call it once, before the
+// run starts. The scheduler decides what "at instant t" means — simulation
+// time on *des.Sim, scaled wall-clock timers in a live harness — but the
+// callbacks themselves assume the checker's single-threaded discipline, so a
+// live scheduler must serialize them with the event feed.
+func (c *Checker) AttachScheduler(sim Scheduler) {
 	k := c.cfg.Bounds.K
 	t := c.cfg.Bounds.T
 	for _, cor := range c.cfg.Schedule.Corruptions {

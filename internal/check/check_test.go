@@ -21,7 +21,7 @@ func synthetic(biases []simtime.Duration, bounds analysis.Bounds, limit int) (*c
 		clocks[i] = clock.NewLocal(clock.NewDrifting(0, simtime.Time(b), 1))
 	}
 	return check.New(check.Config{
-		Clocks: clocks,
+		Clocks: check.FromClocks(clocks),
 		Bounds: bounds,
 		Theta:  300,
 		Limit:  limit,
@@ -111,7 +111,7 @@ func TestCorruptedNodeExemptFromChecks(t *testing.T) {
 	sched := adversary.Schedule{Corruptions: []adversary.Corruption{
 		{Node: 1, From: 90, To: 120, Behavior: adversary.Crash{}},
 	}}
-	c := check.New(check.Config{Clocks: clocks, Schedule: sched, Bounds: bounds, Theta: 300})
+	c := check.New(check.Config{Clocks: check.FromClocks(clocks), Schedule: sched, Bounds: bounds, Theta: 300})
 	// Node 1 was corrupted within the last Θ: its 5 s bias must not count
 	// against the good-set spread, nor its jump against the step bound.
 	c.Emit(round(200, 1, 3))
@@ -126,7 +126,7 @@ func TestWarmupSkipped(t *testing.T) {
 		clock.NewLocal(clock.NewDrifting(0, 0, 1)),
 		clock.NewLocal(clock.NewDrifting(0, 2, 1)),
 	}
-	c := check.New(check.Config{Clocks: clocks, Bounds: bounds, Theta: 300, SkipBefore: 50})
+	c := check.New(check.Config{Clocks: check.FromClocks(clocks), Bounds: bounds, Theta: 300, SkipBefore: 50})
 	c.Emit(round(10, 0, 5)) // violates everything, but inside warm-up
 	if err := c.Err(); err != nil {
 		t.Fatalf("warm-up event checked: %v", err)

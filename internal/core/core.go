@@ -158,14 +158,23 @@ var scratchPool = sync.Pool{New: func() any { return new(convergeScratch) }}
 // Converge never mutates ests; its working copies live in pooled scratch, so
 // the steady-state call is allocation-free.
 func Converge(f int, wayOff simtime.Duration, ests []protocol.Estimate) (delta simtime.Duration, ok bool) {
+	delta, _, ok = ConvergeVerdict(f, wayOff, ests)
+	return delta, ok
+}
+
+// ConvergeVerdict is Converge reporting additionally whether the WayOff
+// "ignore own clock" branch (Figure 1, line 11) was taken — the recovery
+// path a processor uses to rejoin after its clock was smashed. Live nodes
+// count these jumps (clocksync_wayoff_jumps_total) so a re-joining node is
+// observable.
+func ConvergeVerdict(f int, wayOff simtime.Duration, ests []protocol.Estimate) (delta simtime.Duration, jumped, ok bool) {
 	if len(ests) < 2*f+1 {
-		return 0, false // trimming f from both sides needs 2f+1 values
+		return 0, false, false // trimming f from both sides needs 2f+1 values
 	}
 	sc := scratchPool.Get().(*convergeScratch)
 	m, mm := sc.extremes(f, ests)
 	scratchPool.Put(sc)
-	delta, _, ok = convergeFromExtremes(m, mm, wayOff)
-	return delta, ok
+	return convergeFromExtremes(m, mm, wayOff)
 }
 
 // kthSmallest returns the k-th smallest element (1-indexed) via quickselect.

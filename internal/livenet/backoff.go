@@ -1,0 +1,94 @@
+package livenet
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryConfig governs per-round re-estimation: when a peer has not answered
+// by the next retry instant, the node retransmits its time request (with a
+// fresh nonce) instead of writing the whole round off after one datagram.
+// Retries use jittered exponential backoff and always fit inside MaxWait —
+// the estimation deadline of §3.2 is never stretched, so the analysis'
+// timeout assumptions are untouched; retries only raise the probability
+// that a good peer's estimate survives a lossy network.
+//
+// The zero value selects defaults (3 attempts, MaxWait/8 initial delay,
+// ×2 growth, ±10% jitter). Fields are validated by Config.Validate.
+type RetryConfig struct {
+	// Attempts is the maximum number of sends per peer per round, the
+	// original included (0 → 3; 1 disables retries).
+	Attempts int
+	// Initial is the delay before the first retransmission (0 → MaxWait/8).
+	Initial time.Duration
+	// Multiplier grows the delay between consecutive retries (0 → 2; must
+	// be ≥ 1 otherwise).
+	Multiplier float64
+	// Jitter spreads every delay uniformly by ±Jitter·delay to avoid
+	// synchronized retransmission bursts (0 → 0.1; must be in [0, 1)).
+	Jitter float64
+}
+
+// validate rejects nonsense values; zeros mean defaults and pass.
+func (r RetryConfig) validate(maxWait time.Duration) error {
+	if r.Attempts < 0 {
+		return fmt.Errorf("livenet: Retry.Attempts %d is negative (0 selects the default)", r.Attempts)
+	}
+	if r.Initial < 0 {
+		return fmt.Errorf("livenet: Retry.Initial %v is negative (0 selects the default)", r.Initial)
+	}
+	if r.Initial > maxWait {
+		return fmt.Errorf("livenet: Retry.Initial %v exceeds MaxWait %v — the first retry would never fire", r.Initial, maxWait)
+	}
+	if r.Multiplier != 0 && r.Multiplier < 1 {
+		return fmt.Errorf("livenet: Retry.Multiplier %g < 1 would shrink backoff delays", r.Multiplier)
+	}
+	if r.Jitter < 0 || r.Jitter >= 1 {
+		return fmt.Errorf("livenet: Retry.Jitter %g outside [0, 1)", r.Jitter)
+	}
+	return nil
+}
+
+// withDefaults resolves the zero-value fields against the round budget.
+func (r RetryConfig) withDefaults(maxWait time.Duration) RetryConfig {
+	if r.Attempts == 0 {
+		r.Attempts = 3
+	}
+	if r.Initial == 0 {
+		r.Initial = maxWait / 8
+	}
+	if r.Multiplier == 0 {
+		r.Multiplier = 2
+	}
+	if r.Jitter == 0 {
+		r.Jitter = 0.1
+	}
+	return r
+}
+
+// retrySchedule returns the round's retransmission instants as offsets from
+// the round start: strictly increasing, one per retry (Attempts−1 of them
+// at most), every one strictly inside budget so the retransmitted request
+// still has time to be answered. rnd supplies uniform [0,1) draws for the
+// jitter. The schedule is the entire timing policy — the collect loop just
+// walks it — which is what makes backoff growth, jitter bounds and the
+// budget cap testable against a fake clock.
+func retrySchedule(cfg RetryConfig, budget time.Duration, rnd func() float64) []time.Duration {
+	cfg = cfg.withDefaults(budget)
+	var out []time.Duration
+	at := time.Duration(0)
+	delay := cfg.Initial
+	for i := 1; i < cfg.Attempts; i++ {
+		d := delay
+		if cfg.Jitter > 0 {
+			d = time.Duration(float64(d) * (1 + cfg.Jitter*(2*rnd()-1)))
+		}
+		at += d
+		if at >= budget {
+			break // no time left for an answer; stop retrying
+		}
+		out = append(out, at)
+		delay = time.Duration(float64(delay) * cfg.Multiplier)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+)
+
+// The retry schedule is a pure function of (config, budget, random draws):
+// these tests pin its timing policy exactly, with deterministic draws
+// standing in for the jitter source — the fake-clock equivalent for a
+// policy that never reads a clock at all.
+
+// mid returns 0.5 forever: with jitter j the multiplier (1 + j·(2u−1))
+// becomes exactly 1, so delays are the pure exponential sequence.
+func mid() float64 { return 0.5 }
+
+func TestRetryScheduleExponentialGrowth(t *testing.T) {
+	cfg := RetryConfig{Attempts: 5, Initial: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.1}
+	got := retrySchedule(cfg, time.Second, mid)
+	// Delays 10, 20, 40, 80ms → cumulative offsets 10, 30, 70, 150ms.
+	want := []time.Duration{
+		10 * time.Millisecond, 30 * time.Millisecond, 70 * time.Millisecond, 150 * time.Millisecond,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("schedule %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offset %d = %v, want %v (full schedule %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRetryScheduleDefaults(t *testing.T) {
+	// Zero config → 3 attempts, Initial = budget/8, ×2: two retries at
+	// budget/8 and 3·budget/8.
+	budget := 800 * time.Millisecond
+	got := retrySchedule(RetryConfig{}, budget, mid)
+	want := []time.Duration{100 * time.Millisecond, 300 * time.Millisecond}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("default schedule %v, want %v", got, want)
+	}
+}
+
+func TestRetryScheduleSingleAttemptDisablesRetries(t *testing.T) {
+	if got := retrySchedule(RetryConfig{Attempts: 1}, time.Second, mid); len(got) != 0 {
+		t.Fatalf("Attempts=1 produced retries: %v", got)
+	}
+}
+
+func TestRetryScheduleJitterBounds(t *testing.T) {
+	cfg := RetryConfig{Attempts: 2, Initial: 100 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+	lo := retrySchedule(cfg, time.Second, func() float64 { return 0 })        // u=0 → factor 1−j
+	hi := retrySchedule(cfg, time.Second, func() float64 { return 0.999999 }) // u→1 → factor →1+j
+	if len(lo) != 1 || len(hi) != 1 {
+		t.Fatalf("schedules %v / %v, want one retry each", lo, hi)
+	}
+	if want := 80 * time.Millisecond; lo[0] != want {
+		t.Errorf("minimum jitter offset %v, want %v (100ms × 0.8)", lo[0], want)
+	}
+	// The upper edge is open (u < 1): the offset must stay strictly below
+	// 100ms × 1.2 and at least at the undithered value.
+	if hi[0] < 100*time.Millisecond || hi[0] >= 120*time.Millisecond {
+		t.Errorf("maximum jitter offset %v, want in [100ms, 120ms)", hi[0])
+	}
+}
+
+// TestRetryScheduleJitterDithers: distinct draws move the offsets — the
+// jitter is real, not a fixed scale factor.
+func TestRetryScheduleJitterDithers(t *testing.T) {
+	cfg := RetryConfig{Attempts: 3, Initial: 50 * time.Millisecond, Multiplier: 2, Jitter: 0.3}
+	seq := []float64{0.1, 0.9}
+	i := 0
+	drawn := retrySchedule(cfg, time.Second, func() float64 { v := seq[i%len(seq)]; i++; return v })
+	flat := retrySchedule(cfg, time.Second, mid)
+	if len(drawn) != 2 || len(flat) != 2 {
+		t.Fatalf("schedules %v / %v", drawn, flat)
+	}
+	if drawn[0] == flat[0] && drawn[1] == flat[1] {
+		t.Fatalf("jittered schedule %v identical to undithered %v", drawn, flat)
+	}
+}
+
+func TestRetryScheduleStaysInsideBudget(t *testing.T) {
+	// Every offset must land strictly inside the budget no matter how many
+	// attempts are configured: a retransmission at or past MaxWait could
+	// never be answered within the round.
+	cfg := RetryConfig{Attempts: 50, Initial: 30 * time.Millisecond, Multiplier: 2, Jitter: 0.1}
+	budget := 200 * time.Millisecond
+	sched := retrySchedule(cfg, budget, func() float64 { return 0.999 }) // worst-case jitter
+	if len(sched) == 0 {
+		t.Fatal("no retries scheduled at all")
+	}
+	prev := time.Duration(-1)
+	for _, at := range sched {
+		if at >= budget {
+			t.Fatalf("offset %v at or past the %v budget (schedule %v)", at, budget, sched)
+		}
+		if at <= prev {
+			t.Fatalf("schedule not strictly increasing: %v", sched)
+		}
+		prev = at
+	}
+}
+
+// TestRetryScheduleTruncatesNotSkips: once the budget is hit the schedule
+// ends — it must not skip ahead to a later, even larger delay.
+func TestRetryScheduleTruncatesNotSkips(t *testing.T) {
+	cfg := RetryConfig{Attempts: 10, Initial: 60 * time.Millisecond, Multiplier: 3, Jitter: 0}
+	// Cumulative: 60, 240, 780… against a 300ms budget → only 60, 240.
+	got := retrySchedule(cfg, 300*time.Millisecond, mid)
+	want := []time.Duration{60 * time.Millisecond, 240 * time.Millisecond}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("schedule %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,226 @@
+package livenet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/analysis"
+	"clocksync/internal/simtime"
+)
+
+// chaosParams are the virtual-unit analysis parameters shared by the chaos
+// tests: Θ=16 with T≈3 gives K=5 (the Theorem 5 minimum), MaxWait=2δ.
+func chaosParams() analysis.Params {
+	return analysis.Params{
+		Rho:     1e-4,
+		Delta:   0.25,
+		Theta:   16,
+		SyncInt: 2,
+		MaxWait: 0.5,
+	}
+}
+
+var chaosOffsets = []simtime.Duration{-0.4, 0.3, 0.1, -0.2, 0.4, 0, -0.1}
+
+// chaosSeed is chosen so the generated schedule exercises both structured
+// fault kinds; TestChaosScheduleMix pins that property.
+const chaosSeed = 1
+
+func chaosSchedule(t *testing.T) adversary.NetSchedule {
+	t.Helper()
+	return adversary.GenNetSchedule(chaosSeed, adversary.GenNetConfig{
+		N: 7, F: 2,
+		Theta:    chaosParams().Theta,
+		Start:    12,
+		Horizon:  60,
+		Scramble: 20, // well past WayOff ≈ 8.5: restart forces the recovery branch
+		Chaos: adversary.PacketChaos{
+			DropP:    0.05,
+			DupP:     0.02,
+			ReorderP: 0.02,
+			DelayMax: 0.05,
+		},
+	})
+}
+
+// TestChaosScheduleMix pins the precondition the acceptance run relies on:
+// the chosen seed yields both a scrambled crash and a partition within the
+// horizon, and regenerating from the same seed reproduces it exactly.
+func TestChaosScheduleMix(t *testing.T) {
+	s := chaosSchedule(t)
+	var crashes, partitions int
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case adversary.FaultCrash:
+			crashes++
+			if f.Scramble == 0 {
+				t.Errorf("crash window %+v lost its scramble", f)
+			}
+		case adversary.FaultPartition:
+			partitions++
+		}
+	}
+	if crashes == 0 || partitions == 0 {
+		t.Fatalf("seed %d no longer mixes fault kinds (crash=%d partition=%d); pick a new seed",
+			chaosSeed, crashes, partitions)
+	}
+	if again := chaosSchedule(t); !reflect.DeepEqual(s, again) {
+		t.Fatalf("schedule not reproducible from seed:\n%+v\nvs\n%+v", s, again)
+	}
+	if other := adversary.GenNetSchedule(chaosSeed+1, adversary.GenNetConfig{
+		N: 7, F: 2, Theta: 16, Start: 12, Horizon: 60,
+	}); reflect.DeepEqual(s.Faults, other.Faults) {
+		t.Fatal("different seeds produced identical fault plans")
+	}
+}
+
+// TestChaosClusterSatisfiesTheorem5 is the acceptance run: a 7-node f=2
+// in-process cluster under a seeded drop+dup+reorder+delay ambient plus a
+// scrambled crash and a partition completes a 60-virtual-second campaign
+// with zero Theorem 5 violations — twice, from the same seed.
+func TestChaosClusterSatisfiesTheorem5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign needs ~3s of wall time")
+	}
+	for run := 0; run < 2; run++ {
+		res, err := RunChaos(context.Background(), ChaosConfig{
+			N: 7, F: 2,
+			Seed:     chaosSeed,
+			Schedule: chaosSchedule(t),
+			Params:   chaosParams(),
+			Horizon:  60,
+			Scale:    chaosTestScale,
+			Offsets:  chaosOffsets,
+			Key:      []byte("chaos-acceptance"),
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if verr := res.Err(); verr != nil {
+			t.Fatalf("run %d: violations under an f-limited schedule: %v (total %d, dropped %d)",
+				run, verr, len(res.Violations), res.Dropped)
+		}
+		// The campaign must have actually synchronized and actually hurt:
+		// every node completed rounds, and every ambient fault class plus
+		// both structured classes left counter evidence.
+		for i, syncs := range res.Syncs {
+			if syncs < 10 {
+				t.Errorf("run %d: node %d completed only %d rounds", run, i, syncs)
+			}
+		}
+		if res.Faults.FaultDrops.Load() == 0 {
+			t.Errorf("run %d: ambient chaos dropped nothing", run)
+		}
+		if res.Faults.FaultCrashDrops.Load() == 0 {
+			t.Errorf("run %d: crash window cut nothing", run)
+		}
+		if res.Faults.FaultPartitionDrops.Load() == 0 {
+			t.Errorf("run %d: partition window cut nothing", run)
+		}
+		var jumps, retries int64
+		for _, rec := range res.Nodes {
+			jumps += rec.WayOffJumps.Load()
+			retries += rec.Retries.Load()
+		}
+		if jumps == 0 {
+			t.Errorf("run %d: no node took the WayOff recovery branch despite a %v scramble", run, simtime.Duration(20))
+		}
+		if retries == 0 {
+			t.Errorf("run %d: 5%% ambient drop triggered no retransmissions", run)
+		}
+	}
+}
+
+// TestChaosOverBudgetFlagged holds an over-budget run to f-limited
+// guarantees: three of seven nodes (f=2) crash together and restart with
+// scrambled clocks while the declared schedule admits no faults at all. The
+// checker must notice — zero violations here would mean the harness cannot
+// detect its own failures.
+func TestChaosOverBudgetFlagged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign needs ~1s of wall time")
+	}
+	injected := adversary.NetSchedule{
+		Faults: []adversary.NetFault{{
+			Kind:     adversary.FaultCrash,
+			Nodes:    []int{0, 1, 2}, // 3 > f=2: over budget
+			From:     12,
+			To:       16,
+			Scramble: 20,
+		}},
+	}
+	if injected.Validate(7, 2, chaosParams().Theta) == nil {
+		t.Fatal("test premise broken: the injected schedule validates as f-limited")
+	}
+	declared := adversary.NetSchedule{}
+	res, err := RunChaos(context.Background(), ChaosConfig{
+		N: 7, F: 2,
+		Seed:     chaosSeed,
+		Schedule: injected,
+		Declared: &declared,
+		Params:   chaosParams(),
+		Horizon:  24,
+		Scale:    chaosTestScale,
+		Offsets:  chaosOffsets,
+		Key:      []byte("chaos-overbudget"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("over-budget run reported zero violations; the checker is blind")
+	}
+	// The breach must be attributable: a 20-virtual-second scramble of three
+	// "good" clocks breaks the deviation envelope (and usually the step
+	// bound), not some unrelated invariant.
+	first := res.Violations[0]
+	if first.Invariant != "deviation" && first.Invariant != "discontinuity" {
+		t.Errorf("first violation is %q, want deviation or discontinuity: %v", first.Invariant, first)
+	}
+}
+
+// TestRunChaosRejectsBadConfig pins the harness's own validation.
+func TestRunChaosRejectsBadConfig(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunChaos(ctx, ChaosConfig{N: 0, Horizon: 10, Params: chaosParams()}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := RunChaos(ctx, ChaosConfig{N: 7, F: 2, Horizon: 0, Params: chaosParams()}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := RunChaos(ctx, ChaosConfig{N: 7, F: 2, Horizon: 10}); err == nil {
+		t.Error("zero analysis params accepted")
+	}
+	over := adversary.NetSchedule{Faults: []adversary.NetFault{{
+		Kind: adversary.FaultCrash, Nodes: []int{0, 1, 2}, From: 1, To: 2,
+	}}}
+	if _, err := RunChaos(ctx, ChaosConfig{
+		N: 7, F: 2, Horizon: 10, Params: chaosParams(), Schedule: over,
+	}); err == nil {
+		t.Error("undeclared over-budget schedule accepted as its own declaration")
+	}
+}
+
+// TestChaosCancellation: an externally cancelled campaign returns promptly
+// with the context error instead of running out its horizon.
+func TestChaosCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunChaos(ctx, ChaosConfig{
+		N: 7, F: 2,
+		Seed:    chaosSeed,
+		Params:  chaosParams(),
+		Horizon: 600, // 15s of wall time if not cancelled
+		Offsets: chaosOffsets,
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

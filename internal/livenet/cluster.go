@@ -97,7 +97,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 func (c *Cluster) closeAll() {
 	for _, node := range c.nodes {
 		if node != nil {
-			node.conn.Close()
+			node.tr.Close()
 		}
 	}
 }

@@ -1,14 +1,22 @@
 // Package livenet runs the Sync protocol over a real network in real time.
-// It is the deployable counterpart of the simulator: each Node owns a UDP
-// socket, answers authenticated time requests, and disciplines a local
-// clock with the same convergence function (core.Converge) the simulation
-// uses.
+// It is the deployable counterpart of the simulator: each Node owns a
+// datagram Transport (UDP in production, an in-process memory fabric in
+// tests and chaos runs), answers authenticated time requests, and
+// disciplines a local clock with the same convergence function
+// (core.Converge) the simulation uses.
 //
 // Authenticated links (§2.2) are realized with HMAC-SHA256 over a shared
 // key; messages that fail authentication are dropped before they reach the
 // protocol. For demonstrations, a Node can simulate a hardware offset and
 // drift on top of the host clock, so a loopback cluster exhibits the same
 // convergence the paper analyzes.
+//
+// The live path is built to survive the same adversities the analysis
+// covers: per-round retransmission with jittered exponential backoff inside
+// MaxWait (RetryConfig), peer-health tracking that degrades gracefully to
+// the 3f+1 quorum when peers go dark, and WayOff-based re-join after a
+// crash — all observable through the obs counters and event stream, and all
+// testable deterministically through FaultTransport (see chaos.go).
 package livenet
 
 import (
@@ -20,9 +28,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -74,14 +84,24 @@ type OpsConfig struct {
 	MetricsAddr string
 
 	// Observer receives the node's structured event stream (round, skip,
-	// authfail, timeout events). Nil disables event emission. Counters are
-	// always kept, per node, in Node.Metrics — the observer's own Recorder
-	// is not written by livenet, so one observer can safely serve a whole
-	// cluster's events.
+	// authfail, timeout, peerdark/peerbright events). Nil disables event
+	// emission. Counters are always kept, per node, in Node.Metrics — the
+	// observer's own Recorder is not written by livenet, so one observer can
+	// safely serve a whole cluster's events.
 	Observer *obs.Observer
 
 	// Logf receives diagnostic output; nil silences the node.
 	Logf func(format string, args ...any)
+}
+
+// validate checks the operational settings.
+func (o OpsConfig) validate() error {
+	if o.MetricsAddr != "" {
+		if err := validateHostPort("Ops.MetricsAddr", o.MetricsAddr); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Config parameterizes a live node. The first block is the wire/protocol
@@ -92,7 +112,7 @@ type Config struct {
 	// Wire/protocol settings.
 	ID     int
 	F      int            // per-period fault budget; the cluster must satisfy n ≥ 3f+1
-	Listen string         // UDP listen address, e.g. "127.0.0.1:9000"
+	Listen string         // UDP listen address, e.g. "127.0.0.1:9000" (ignored when Transport is set)
 	Peers  map[int]string // peer id → address (excluding self)
 
 	SyncInt time.Duration // wall time between Sync executions (≥ 2·MaxWait)
@@ -102,6 +122,25 @@ type Config struct {
 	// Key enables HMAC authentication when non-empty. All nodes must share
 	// it; without it the "authenticated links" assumption of §2.2 is void.
 	Key []byte
+
+	// Transport, when non-nil, carries the node's datagrams instead of a
+	// fresh UDP socket on Listen — the seam that lets tests and chaos runs
+	// put a whole cluster in one process (MemNetwork) or inject faults
+	// (FaultTransport). The node owns the transport and closes it when Run
+	// returns.
+	Transport Transport
+
+	// Retry configures per-round retransmission with jittered exponential
+	// backoff inside MaxWait. The zero value selects the defaults; see
+	// RetryConfig.
+	Retry RetryConfig
+
+	// DarkAfter is the number of consecutive rounds a peer may fail before
+	// it is considered dark: rounds stop waiting for dark peers (beyond a
+	// short grace) and degrade gracefully to the answering quorum, while a
+	// single probe per round lets the peer rejoin the moment it answers.
+	// 0 selects the default (3); negative values are rejected.
+	DarkAfter int
 
 	// Operational settings (metrics endpoint, event observer, logging).
 	Ops OpsConfig
@@ -117,6 +156,26 @@ type Config struct {
 	// Deprecated: set Ops.Logf. This field is folded into Ops by Validate
 	// and kept only so existing configurations compile.
 	Logf func(format string, args ...any)
+}
+
+// defaultDarkAfter is the consecutive-failure threshold when DarkAfter is 0.
+const defaultDarkAfter = 3
+
+// validateHostPort rejects addresses whose port part is missing, non-numeric
+// or outside [0, 65535] (0 is the documented "OS-assigned" value).
+func validateHostPort(field, addr string) error {
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("livenet: %s %q is not host:port: %v", field, addr, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return fmt.Errorf("livenet: %s %q has non-numeric port %q", field, addr, port)
+	}
+	if p < 0 || p > 65535 {
+		return fmt.Errorf("livenet: %s %q has port %d outside [0, 65535] (0 = OS-assigned)", field, addr, p)
+	}
+	return nil
 }
 
 // Validate checks the configuration and normalizes deprecated fields,
@@ -139,14 +198,33 @@ func (c *Config) Validate() error {
 	if c.SyncInt < 2*c.MaxWait {
 		return fmt.Errorf("livenet: SyncInt %v < 2·MaxWait %v violates §3.2 — raise SyncInt or lower MaxWait", c.SyncInt, c.MaxWait)
 	}
+	if err := c.Retry.validate(c.MaxWait); err != nil {
+		return err
+	}
+	if c.DarkAfter < 0 {
+		return fmt.Errorf("livenet: DarkAfter %d is negative (0 selects the default of %d)", c.DarkAfter, defaultDarkAfter)
+	}
 	if c.F < 0 {
 		return fmt.Errorf("livenet: negative fault budget f=%d", c.F)
 	}
 	if c.ID < 0 {
 		return fmt.Errorf("livenet: negative node id %d", c.ID)
 	}
-	if c.Listen == "" {
-		return errors.New(`livenet: Listen address required (use "127.0.0.1:0" for an OS-assigned port)`)
+	if c.Transport == nil {
+		if c.Listen == "" {
+			return errors.New(`livenet: Listen address required (use "127.0.0.1:0" for an OS-assigned port)`)
+		}
+		if err := validateHostPort("Listen", c.Listen); err != nil {
+			return err
+		}
+		for id, addr := range c.Peers {
+			if err := validateHostPort(fmt.Sprintf("peer %d address", id), addr); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.Ops.validate(); err != nil {
+		return err
 	}
 	if _, dup := c.Peers[c.ID]; dup {
 		return fmt.Errorf("livenet: peer table contains this node's own id %d — list only the other members", c.ID)
@@ -161,18 +239,19 @@ func (c *Config) Validate() error {
 // Node is a live Sync participant.
 type Node struct {
 	cfg   Config
-	conn  *net.UDPConn
-	peers map[int]*net.UDPAddr
+	tr    Transport
 	start time.Time
 	rec   *obs.Recorder
 
 	mu          sync.Mutex
+	peers       map[int]string // id → transport address
 	adj         time.Duration
 	nonce       uint64
 	pending     map[uint64]pendingPing
 	syncs       int
 	last        time.Duration
 	peerSeen    map[int]peerStats
+	health      map[int]*peerHealth
 	metricsAddr string
 
 	wg sync.WaitGroup
@@ -185,6 +264,14 @@ type peerStats struct {
 	failures   int
 }
 
+// peerHealth is the degradation state of one peer: consecutive round
+// failures, and whether the peer has been written off as dark.
+type peerHealth struct {
+	consecFails int
+	dark        bool
+	darkSince   time.Time
+}
+
 // PeerStatus is one peer's view in a Status snapshot.
 type PeerStatus struct {
 	ID         int
@@ -192,6 +279,7 @@ type PeerStatus struct {
 	LastSeen   time.Time     // wall time of the last reply
 	Replies    int
 	Failures   int
+	Dark       bool // written off by health tracking; probed but not awaited
 }
 
 // Status is a point-in-time snapshot of the node's state.
@@ -205,6 +293,7 @@ type Status struct {
 
 type pendingPing struct {
 	peer     int
+	attempt  int       // 1-based send attempt within the round
 	sentAt   time.Time // local clock reading (Now) at send
 	sentUnix float64   // wall time at send (span timebase)
 	span     obs.SpanID
@@ -212,39 +301,43 @@ type pendingPing struct {
 	ch       chan<- protocol.Estimate
 }
 
-// New opens the node's socket and resolves its peers.
+// New opens the node's transport (UDP on cfg.Listen unless cfg.Transport is
+// provided) and records its peer table.
 func New(cfg Config) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("livenet: resolving listen address: %w", err)
-	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("livenet: listening: %w", err)
-	}
-	peers := make(map[int]*net.UDPAddr, len(cfg.Peers))
-	for id, a := range cfg.Peers {
-		ua, err := net.ResolveUDPAddr("udp", a)
+	tr := cfg.Transport
+	if tr == nil {
+		var err error
+		tr, err = NewUDPTransport(cfg.Listen)
 		if err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("livenet: resolving peer %d (%s): %w", id, a, err)
+			return nil, err
 		}
-		peers[id] = ua
 	}
-	return &Node{
+	n := &Node{
 		cfg:   cfg,
-		conn:  conn,
-		peers: peers,
+		tr:    tr,
+		peers: make(map[int]string, len(cfg.Peers)),
 		start: time.Now(),
 		// Counters are always per-node (the /metrics endpoint labels them by
 		// id); Ops.Observer receives only the event stream.
 		rec:      obs.NewRecorder(),
 		pending:  make(map[uint64]pendingPing),
 		peerSeen: make(map[int]peerStats),
-	}, nil
+		health:   make(map[int]*peerHealth),
+	}
+	checker, _ := tr.(addrChecker)
+	for id, a := range cfg.Peers {
+		if checker != nil {
+			if err := checker.CheckAddr(a); err != nil {
+				tr.Close()
+				return nil, fmt.Errorf("livenet: peer %d (%s): %w", id, a, err)
+			}
+		}
+		n.peers[id] = a
+	}
+	return n, nil
 }
 
 // Metrics returns the node's counter recorder. It is live: scraping it (or
@@ -275,6 +368,7 @@ func (n *Node) StatusJSON() ([]byte, error) {
 		AgeSec    float64 `json:"last_seen_age_sec"`
 		Replies   int     `json:"replies"`
 		Failures  int     `json:"failures"`
+		Dark      bool    `json:"dark"`
 	}
 	out := struct {
 		ID        int        `json:"id"`
@@ -295,7 +389,7 @@ func (n *Node) StatusJSON() ([]byte, error) {
 		}
 		out.Peers = append(out.Peers, peerJSON{
 			ID: p.ID, OffsetSec: p.LastOffset.Seconds(), AgeSec: age,
-			Replies: p.Replies, Failures: p.Failures,
+			Replies: p.Replies, Failures: p.Failures, Dark: p.Dark,
 		})
 	}
 	return json.Marshal(out)
@@ -384,37 +478,46 @@ func (n *Node) Status() Status {
 	sort.Ints(ids)
 	for _, id := range ids {
 		ps := n.peerSeen[id]
+		h := n.health[id]
 		st.Peers = append(st.Peers, PeerStatus{
 			ID:         id,
 			LastOffset: ps.lastOffset,
 			LastSeen:   ps.lastSeen,
 			Replies:    ps.replies,
 			Failures:   ps.failures,
+			Dark:       h != nil && h.dark,
 		})
 	}
 	return st
 }
 
-// Addr returns the node's bound UDP address.
-func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+// Addr returns the node's bound transport address.
+func (n *Node) Addr() string { return n.tr.LocalAddr() }
 
 // SetPeers installs or replaces the peer table. It must be called before
 // Run when the configuration could not know peer addresses up front (e.g.
 // OS-assigned ports). The resulting cluster must satisfy n ≥ 3f+1.
 func (n *Node) SetPeers(peers map[int]string) error {
-	resolved := make(map[int]*net.UDPAddr, len(peers))
+	checker, _ := n.tr.(addrChecker)
+	cp := make(map[int]string, len(peers))
 	for id, a := range peers {
-		ua, err := net.ResolveUDPAddr("udp", a)
-		if err != nil {
-			return fmt.Errorf("livenet: resolving peer %d (%s): %w", id, a, err)
+		if checker != nil {
+			if err := checker.CheckAddr(a); err != nil {
+				return fmt.Errorf("livenet: peer %d (%s): %w", id, a, err)
+			}
 		}
-		resolved[id] = ua
+		cp[id] = a
 	}
-	if len(resolved)+1 < 3*n.cfg.F+1 {
-		return fmt.Errorf("livenet: n=%d does not satisfy n ≥ 3f+1 for f=%d", len(resolved)+1, n.cfg.F)
+	if len(cp)+1 < 3*n.cfg.F+1 {
+		return fmt.Errorf("livenet: n=%d does not satisfy n ≥ 3f+1 for f=%d", len(cp)+1, n.cfg.F)
 	}
 	n.mu.Lock()
-	n.peers = resolved
+	n.peers = cp
+	for id := range n.health {
+		if _, keep := cp[id]; !keep {
+			delete(n.health, id)
+		}
+	}
 	n.mu.Unlock()
 	return nil
 }
@@ -438,6 +541,16 @@ func (n *Node) Now() time.Time { return time.Now().Add(n.localClock()) }
 // live analogue of the simulator's bias, measurable because the demo knows
 // the host clock is the reference.
 func (n *Node) Offset() time.Duration { return n.localClock() }
+
+// InjectOffset shifts the node's disciplined clock by d. It is the
+// state-loss hook of the chaos harness: a crash window ends with the node
+// restarting on a cold clock, modeled as a sudden injected offset the
+// WayOff recovery logic must then pull back into the good envelope.
+func (n *Node) InjectOffset(d time.Duration) {
+	n.mu.Lock()
+	n.adj += d
+	n.mu.Unlock()
+}
 
 // Syncs returns the number of completed Sync executions.
 func (n *Node) Syncs() int {
@@ -478,7 +591,7 @@ func (n *Node) Run(ctx context.Context) error {
 		n.syncLoop(ctx)
 	}()
 	<-ctx.Done()
-	n.conn.Close() // unblocks the read loop
+	n.tr.Close() // unblocks the read loop
 	n.wg.Wait()
 	return ctx.Err()
 }
@@ -493,9 +606,9 @@ func (n *Node) logf(format string, args ...any) {
 func (n *Node) readLoop(ctx context.Context) {
 	buf := make([]byte, 2048)
 	for {
-		nr, raddr, err := n.conn.ReadFromUDP(buf)
+		nr, from, err := n.tr.ReadFrom(buf)
 		if err != nil {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) || errors.Is(err, ErrClosed) {
 				return
 			}
 			n.logf("read error: %v", err)
@@ -510,13 +623,13 @@ func (n *Node) readLoop(ctx context.Context) {
 			n.rec.AuthFailures.Inc()
 			n.rec.MessagesDropped.Inc()
 			n.emit(obs.KindAuthFail, map[string]float64{"from": float64(msg.From)})
-			n.logf("dropping unauthenticated message from %v", raddr)
+			n.logf("dropping unauthenticated message from %v", from)
 			continue
 		}
 		n.rec.MessagesReceived.Inc()
 		switch msg.Type {
 		case "q":
-			n.answer(msg, raddr)
+			n.answer(msg, from)
 		case "r":
 			n.handleResponse(msg)
 		default:
@@ -527,7 +640,7 @@ func (n *Node) readLoop(ctx context.Context) {
 
 // answer replies to a time request with the current clock — always the
 // current clock, per the paper's roundless design.
-func (n *Node) answer(req wireMsg, raddr *net.UDPAddr) {
+func (n *Node) answer(req wireMsg, from string) {
 	resp := wireMsg{
 		V:     wireVersion,
 		Type:  "r",
@@ -535,10 +648,10 @@ func (n *Node) answer(req wireMsg, raddr *net.UDPAddr) {
 		Nonce: req.Nonce,
 		Clock: n.Now().UnixNano(),
 	}
-	n.send(resp, raddr)
+	n.send(resp, from)
 }
 
-func (n *Node) send(msg wireMsg, to *net.UDPAddr) {
+func (n *Node) send(msg wireMsg, to string) {
 	if len(n.cfg.Key) > 0 {
 		msg.MAC = msg.mac(n.cfg.Key)
 	}
@@ -547,7 +660,7 @@ func (n *Node) send(msg wireMsg, to *net.UDPAddr) {
 		n.logf("marshal error: %v", err)
 		return
 	}
-	if _, err := n.conn.WriteToUDP(data, to); err != nil {
+	if err := n.tr.WriteTo(data, to); err != nil {
 		n.rec.MessagesDropped.Inc()
 		n.logf("send to %v failed: %v", to, err)
 		return
@@ -587,6 +700,7 @@ func (n *Node) handleResponse(msg wireMsg) {
 				F("d", float64(est.D)).
 				F("a", float64(est.A)).
 				F("rtt", rtt.Seconds()).
+				F("attempt", float64(p.attempt)).
 				F("ok", 1),
 		})
 	}
@@ -617,16 +731,23 @@ func (n *Node) syncLoop(ctx context.Context) {
 	}
 }
 
-// runSync estimates all peers in parallel and applies the convergence
-// function.
+// roundTarget is one peer's state within a single Sync round.
+type roundTarget struct {
+	id       int
+	addr     string
+	dark     bool
+	answered bool
+	attempts int
+}
+
+// runSync estimates all peers and applies the convergence function. Bright
+// (healthy) peers are retransmitted to on the retry schedule and the round
+// waits for all of them (or MaxWait); dark peers get a single probe and a
+// short grace so they can rejoin, but cannot stall the round — that is the
+// graceful degradation to whatever quorum is still answering. When every
+// peer is dark the degradation rationale vanishes and the round reverts to
+// full MaxWait + retries, so an isolated node can find its way back.
 func (n *Node) runSync(ctx context.Context) {
-	type ping struct {
-		nonce uint64
-		peer  int
-		addr  *net.UDPAddr
-	}
-	ch := make(chan protocol.Estimate, len(n.peers))
-	var pings []ping
 	o := n.cfg.Ops.Observer
 	var roundSpan obs.SpanID
 	var roundStart float64
@@ -634,63 +755,186 @@ func (n *Node) runSync(ctx context.Context) {
 		roundSpan = o.NextSpanID()
 		roundStart = float64(time.Now().UnixNano()) / 1e9
 	}
-	sentAt := n.Now() // local clock reading S; all pings share the send instant
-	sentUnix := float64(time.Now().UnixNano()) / 1e9
+
+	// Snapshot the peer table and health state.
 	n.mu.Lock()
+	targets := make([]*roundTarget, 0, len(n.peers))
 	for id, addr := range n.peers {
+		h := n.health[id]
+		targets = append(targets, &roundTarget{id: id, addr: addr, dark: h != nil && h.dark})
+	}
+	n.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+
+	retryCfg := n.cfg.Retry.withDefaults(n.cfg.MaxWait)
+	ch := make(chan protocol.Estimate, len(targets)*retryCfg.Attempts+1)
+	sentAt := n.Now() // local clock reading S; attempts share the send instant
+	sentUnix := float64(time.Now().UnixNano()) / 1e9
+	var roundNonces []uint64
+
+	// sendPing transmits one request to a target and registers the pending
+	// entry routing its response. Estimates computed from a retransmission
+	// reuse the original send instant S, so a reply to attempt k yields a
+	// pessimistic-but-safe error bound a = (R−S)/2 (the true offset is
+	// always inside [D−a, D+a]; §3.1's analysis only needs the interval to
+	// contain it).
+	sendPing := func(t *roundTarget) {
+		n.mu.Lock()
 		n.nonce++
+		nonce := n.nonce
+		t.attempts++
 		var span obs.SpanID
 		if roundSpan != 0 {
 			span = o.NextSpanID()
 		}
-		n.pending[n.nonce] = pendingPing{
-			peer: id, sentAt: sentAt, sentUnix: sentUnix,
+		n.pending[nonce] = pendingPing{
+			peer: t.id, attempt: t.attempts, sentAt: sentAt, sentUnix: sentUnix,
 			span: span, parent: roundSpan, ch: ch,
 		}
-		pings = append(pings, ping{nonce: n.nonce, peer: id, addr: addr})
-	}
-	n.mu.Unlock()
-	for _, p := range pings {
-		n.send(wireMsg{V: wireVersion, Type: "q", From: n.cfg.ID, Nonce: p.nonce}, p.addr)
+		roundNonces = append(roundNonces, nonce)
+		n.mu.Unlock()
+		n.send(wireMsg{V: wireVersion, Type: "q", From: n.cfg.ID, Nonce: nonce}, t.addr)
 	}
 
-	ests := make([]protocol.Estimate, 0, len(pings)+1)
+	brightLeft, darkLeft := 0, 0
+	for _, t := range targets {
+		if t.dark {
+			darkLeft++
+		} else {
+			brightLeft++
+		}
+		sendPing(t)
+	}
+	// With every peer dark there is no answering quorum for the short-grace
+	// path to protect — this round IS the rejoin attempt (a node coming back
+	// from a crash or long partition sees exactly this). Give dark peers the
+	// full MaxWait and the retry schedule instead of a grace window.
+	allDark := brightLeft == 0 && darkLeft > 0
+
+	resends := retrySchedule(n.cfg.Retry, n.cfg.MaxWait, rand.Float64)
+	wallStart := time.Now()
 	deadline := time.NewTimer(n.cfg.MaxWait)
 	defer deadline.Stop()
+	var retryTimer *time.Timer
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
+	nextRetry := 0
+	armRetry := func() <-chan time.Time {
+		if nextRetry >= len(resends) {
+			return nil
+		}
+		d := resends[nextRetry] - time.Since(wallStart)
+		if d < 0 {
+			d = 0
+		}
+		if retryTimer == nil {
+			retryTimer = time.NewTimer(d)
+		} else {
+			retryTimer.Reset(d)
+		}
+		return retryTimer.C
+	}
+	retryC := armRetry()
+
+	byID := make(map[int]*roundTarget, len(targets))
+	for _, t := range targets {
+		byID[t.id] = t
+	}
+	ests := make([]protocol.Estimate, 0, len(targets)+1)
+	var graceTimer *time.Timer
+	defer func() {
+		if graceTimer != nil {
+			graceTimer.Stop()
+		}
+	}()
+	var graceC <-chan time.Time
+
 collect:
-	for range pings {
+	for brightLeft > 0 || darkLeft > 0 {
+		if brightLeft == 0 && !allDark && graceC == nil {
+			// All healthy peers answered; give dark peers one short grace to
+			// rejoin instead of stalling the full MaxWait on them.
+			grace := retryCfg.Initial
+			if left := n.cfg.MaxWait - time.Since(wallStart); grace > left {
+				grace = left
+			}
+			if grace <= 0 {
+				break collect
+			}
+			graceTimer = time.NewTimer(grace)
+			graceC = graceTimer.C
+		}
 		select {
 		case e := <-ch:
+			t := byID[e.Peer]
+			if t == nil || t.answered {
+				continue // duplicate answer (retransmission or injected dup)
+			}
+			t.answered = true
 			ests = append(ests, e)
+			if t.dark {
+				darkLeft--
+			} else {
+				brightLeft--
+			}
+		case <-retryC:
+			// Retransmit to every bright peer still unanswered.
+			resent := 0
+			for _, t := range targets {
+				if !t.answered && (!t.dark || allDark) {
+					sendPing(t)
+					resent++
+				}
+			}
+			if resent > 0 {
+				n.rec.Retries.Add(int64(resent))
+			}
+			nextRetry++
+			retryC = armRetry()
+		case <-graceC:
+			break collect
 		case <-deadline.C:
 			break collect
 		case <-ctx.Done():
+			n.dropRoundPending(roundNonces)
 			return
 		}
 	}
-	// Drop leftover pending entries for this round and fill failures.
+
+	// Fill failures for unanswered targets and drop their pending entries.
 	failed := 0
 	var timedOut []pendingPing
 	n.mu.Lock()
-	for nonce, p := range n.pending {
-		for _, pg := range pings {
-			if pg.nonce == nonce {
-				delete(n.pending, nonce)
-				fe := protocol.FailedEstimate(p.peer)
-				fe.Span = p.span
-				ests = append(ests, fe)
-				ps := n.peerSeen[p.peer]
-				ps.failures++
-				n.peerSeen[p.peer] = ps
-				failed++
-				if p.span != 0 {
-					timedOut = append(timedOut, p)
-				}
-				break
-			}
+	for _, nonce := range roundNonces {
+		p, ok := n.pending[nonce]
+		if !ok {
+			continue
+		}
+		delete(n.pending, nonce)
+		t := byID[p.peer]
+		if t == nil || t.answered {
+			continue // an earlier or later attempt got through
+		}
+		if p.span != 0 {
+			timedOut = append(timedOut, p)
 		}
 	}
+	for _, t := range targets {
+		if t.answered {
+			continue
+		}
+		fe := protocol.FailedEstimate(t.id)
+		ests = append(ests, fe)
+		ps := n.peerSeen[t.id]
+		ps.failures++
+		n.peerSeen[t.id] = ps
+		failed++
+	}
 	n.mu.Unlock()
+	n.updateHealth(targets)
 	if failed > 0 {
 		n.rec.EstimationTimeouts.Add(int64(failed))
 	}
@@ -700,13 +944,14 @@ collect:
 			o.EmitSpan(obs.Span{
 				ID: p.span, Parent: p.parent, Name: obs.SpanEstimate, Node: n.cfg.ID,
 				Start: p.sentUnix, End: nowU,
-				Fields: obs.F("peer", float64(p.peer)).F("ok", 0).F("timeout", 1),
+				Fields: obs.F("peer", float64(p.peer)).F("attempt", float64(p.attempt)).
+					F("ok", 0).F("timeout", 1),
 			})
 		}
 	}
 	ests = append(ests, protocol.Estimate{Peer: n.cfg.ID, D: 0, A: 0, OK: true})
 
-	delta, ok := core.Converge(n.cfg.F, simtime.Duration(n.cfg.WayOff.Seconds()), ests)
+	delta, jumped, ok := core.ConvergeVerdict(n.cfg.F, simtime.Duration(n.cfg.WayOff.Seconds()), ests)
 	if !ok {
 		n.rec.RoundsSkipped.Inc()
 		n.emit(obs.KindSkip, map[string]float64{"failed": float64(failed)})
@@ -727,12 +972,21 @@ collect:
 	n.last = dd
 	n.mu.Unlock()
 	n.rec.SyncRounds.Inc()
+	if jumped {
+		n.rec.WayOffJumps.Inc()
+	}
 	n.rec.LastAdjust.Set(dd.Seconds())
 	n.rec.AdjustMag.Observe(math.Abs(dd.Seconds()))
 	// Live nodes apply adjustments in one step, so amortization is complete
 	// the moment the round commits.
 	n.rec.AmortizationProgress.Set(1)
-	n.emit(obs.KindRound, map[string]float64{"delta": dd.Seconds(), "failed": float64(failed)})
+	wayoff := 0.0
+	if jumped {
+		wayoff = 1
+	}
+	n.emit(obs.KindRound, map[string]float64{
+		"delta": dd.Seconds(), "failed": float64(failed), "wayoff": wayoff,
+	})
 	if roundSpan != 0 {
 		endU := float64(time.Now().UnixNano()) / 1e9
 		o.EmitSpan(obs.Span{
@@ -749,4 +1003,71 @@ collect:
 		})
 	}
 	n.logf("sync #%d: adjusted by %v (offset now %v)", n.Syncs(), dd, n.Offset())
+}
+
+// dropRoundPending discards this round's outstanding pings (shutdown path).
+func (n *Node) dropRoundPending(nonces []uint64) {
+	n.mu.Lock()
+	for _, nonce := range nonces {
+		delete(n.pending, nonce)
+	}
+	n.mu.Unlock()
+}
+
+// updateHealth folds one round's outcomes into the per-peer health state:
+// an answer resets the failure streak (and rescues a dark peer); a failure
+// extends it and — at the DarkAfter threshold — writes the peer off as
+// dark. Transitions are emitted as peerdark/peerbright events and the dark
+// population is kept on the PeersDark gauge.
+func (n *Node) updateHealth(targets []*roundTarget) {
+	darkAfter := n.cfg.DarkAfter
+	if darkAfter == 0 {
+		darkAfter = defaultDarkAfter
+	}
+	type transition struct {
+		peer  int
+		dark  bool
+		fails int
+	}
+	var changes []transition
+	n.mu.Lock()
+	for _, t := range targets {
+		h := n.health[t.id]
+		if h == nil {
+			h = &peerHealth{}
+			n.health[t.id] = h
+		}
+		if t.answered {
+			h.consecFails = 0
+			if h.dark {
+				h.dark = false
+				n.rec.PeerRejoins.Inc()
+				changes = append(changes, transition{peer: t.id, dark: false})
+			}
+			continue
+		}
+		h.consecFails++
+		if !h.dark && h.consecFails >= darkAfter {
+			h.dark = true
+			h.darkSince = time.Now()
+			changes = append(changes, transition{peer: t.id, dark: true, fails: h.consecFails})
+		}
+	}
+	dark := 0
+	for _, h := range n.health {
+		if h.dark {
+			dark++
+		}
+	}
+	n.mu.Unlock()
+	n.rec.PeersDark.Set(float64(dark))
+	for _, c := range changes {
+		if c.dark {
+			n.emit(obs.KindPeerDark, map[string]float64{"peer": float64(c.peer), "fails": float64(c.fails)})
+			n.logf("peer %d marked dark after %d silent rounds; degrading to the answering quorum", c.peer, c.fails)
+		} else {
+			n.emit(obs.KindPeerBright, map[string]float64{"peer": float64(c.peer)})
+			n.logf("peer %d answered again; restored to the wait set", c.peer)
+		}
+	}
 }

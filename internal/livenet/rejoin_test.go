@@ -1,0 +1,112 @@
+package livenet
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"clocksync/internal/adversary"
+	"clocksync/internal/obs"
+)
+
+// TestCrashRecoveryRejoin drives one node through the full crash/recovery
+// arc over the memory transport: a 10-virtual-second blackout (long enough
+// for its peers to write it off as dark), a restart with a clock scrambled
+// far past WayOff, and the Lemma 7(iii) rejoin — the recovery pull must
+// cover at least half the scramble in the node's first post-restart rounds
+// (Claim 8(iii) demands halving per interval T; the protocol actually does
+// much better), every Theorem 5 checkpoint must hold, and the peer-health
+// machinery must record the dark/bright round trip.
+func TestCrashRecoveryRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign needs ~1.2s of wall time")
+	}
+	const victim = 4
+	const scramble = 20.0 // virtual seconds; WayOff ≈ 8.5
+	schedule := adversary.NetSchedule{
+		Faults: []adversary.NetFault{{
+			Kind:     adversary.FaultCrash,
+			Nodes:    []int{victim},
+			From:     12,
+			To:       22, // 5 sync intervals: DarkAfter=3 must trip
+			Scramble: scramble,
+		}},
+	}
+	params := chaosParams()
+	if err := schedule.Validate(7, 2, params.Theta); err != nil {
+		t.Fatalf("test schedule must be f-limited: %v", err)
+	}
+
+	events := obs.NewRing(8192)
+	observer := obs.NewObserver(events)
+	res, err := RunChaos(context.Background(), ChaosConfig{
+		N: 7, F: 2,
+		Seed:     99,
+		Schedule: schedule,
+		Params:   params,
+		Horizon:  48,
+		Scale:    chaosTestScale,
+		Offsets:  chaosOffsets,
+		Key:      []byte("rejoin"),
+		Observer: observer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Err(); verr != nil {
+		t.Fatalf("recovery violated Theorem 5: %v", verr)
+	}
+
+	// The victim must have rejoined through the WayOff branch.
+	if jumps := res.Nodes[victim].WayOffJumps.Load(); jumps == 0 {
+		t.Error("victim recorded no WayOff jumps; it rejoined without the recovery branch?")
+	}
+
+	// Its peers must have marked it dark during the blackout and bright
+	// again after — graceful degradation, then re-admission.
+	var rejoins int64
+	for i, rec := range res.Nodes {
+		if i == victim {
+			continue
+		}
+		rejoins += rec.PeerRejoins.Load()
+		if rec.PeersDark.Load() != 0 {
+			t.Errorf("node %d still counts %v dark peers after recovery", i, rec.PeersDark.Load())
+		}
+	}
+	if rejoins == 0 {
+		t.Error("no peer recorded the victim's rejoin; dark-marking never engaged")
+	}
+
+	// Event-stream cross-check: a peerdark for the victim, then a peerbright,
+	// and a WayOff round whose pull covers at least half the scramble.
+	// (Event deltas are in wall seconds; rescale the scramble to compare.)
+	wallScramble := scramble * chaosTestScale.Seconds()
+	var sawDark, sawBright, sawPull bool
+	for _, e := range events.Events() {
+		switch e.Kind {
+		case obs.KindPeerDark:
+			if int(e.Fields["peer"]) == victim {
+				sawDark = true
+			}
+		case obs.KindPeerBright:
+			if sawDark && int(e.Fields["peer"]) == victim {
+				sawBright = true
+			}
+		case obs.KindRound:
+			if e.Node == victim && e.Fields["wayoff"] == 1 &&
+				math.Abs(e.Fields["delta"]) >= wallScramble/2 {
+				sawPull = true
+			}
+		}
+	}
+	if !sawDark {
+		t.Error("no peerdark event for the victim")
+	}
+	if !sawBright {
+		t.Error("no peerbright event for the victim after it went dark")
+	}
+	if !sawPull {
+		t.Errorf("no WayOff round pulled the victim at least %.0fms back toward the good envelope", wallScramble/2*1e3)
+	}
+}

@@ -34,6 +34,10 @@ const (
 	KindAuthFail = "authfail" // a message failed HMAC verification
 	KindTimeout  = "timeout"  // a peer estimation hit MaxWait; fields: peer
 	KindSample   = "sample"   // a measurement sample; carries Biases and Deviation
+	// Peer-health transitions of the live degradation path; fields: peer,
+	// and (for peerdark) fails = the consecutive-failure count that tripped.
+	KindPeerDark   = "peerdark"   // a peer stopped answering and was marked dark
+	KindPeerBright = "peerbright" // a dark peer answered and rejoined the wait set
 )
 
 // Sink consumes events. Implementations must be safe for concurrent Emit

@@ -71,6 +71,19 @@ type Recorder struct {
 	EstimationTimeouts Counter // per-peer estimations that hit MaxWait
 	WayOffJumps        Counter // rounds that took the "ignore own clock" recovery branch
 
+	// Resilience counters and gauges (livenet retry/degradation path).
+	Retries     Counter // per-peer estimation retransmissions within a round
+	PeerRejoins Counter // dark peers that answered again and were marked bright
+	PeersDark   Gauge   // peers currently considered dark (health tracking)
+
+	// Fault-injection counters (FaultTransport; zero outside chaos runs).
+	FaultDrops          Counter // packets dropped by ambient chaos
+	FaultDups           Counter // packets duplicated by ambient chaos
+	FaultReorders       Counter // packets held past their successor
+	FaultDelays         Counter // packets given bounded extra delay
+	FaultCrashDrops     Counter // packets cut by a crash window
+	FaultPartitionDrops Counter // packets cut by a partition window
+
 	// Convergence gauges.
 	LastAdjust Gauge // most recent convergence adjustment, in seconds (signed)
 	// AmortizationProgress is the fraction of the last adjustment already
@@ -109,6 +122,15 @@ func (r *Recorder) Snapshot() []Metric {
 		{"clocksync_rounds_skipped_total", "counter", "Sync executions skipped (faulty or no safe adjustment).", float64(r.RoundsSkipped.Load())},
 		{"clocksync_estimation_timeouts_total", "counter", "Per-peer estimations that timed out (a=∞ sentinel).", float64(r.EstimationTimeouts.Load())},
 		{"clocksync_wayoff_jumps_total", "counter", "Rounds that took the WayOff recovery branch.", float64(r.WayOffJumps.Load())},
+		{"clocksync_retries_total", "counter", "Per-peer estimation retransmissions within a round.", float64(r.Retries.Load())},
+		{"clocksync_peer_rejoins_total", "counter", "Dark peers that answered again and were marked bright.", float64(r.PeerRejoins.Load())},
+		{"clocksync_peers_dark", "gauge", "Peers currently considered dark by health tracking.", r.PeersDark.Load()},
+		{"clocksync_faultnet_drops_total", "counter", "Packets dropped by injected ambient chaos.", float64(r.FaultDrops.Load())},
+		{"clocksync_faultnet_dups_total", "counter", "Packets duplicated by injected ambient chaos.", float64(r.FaultDups.Load())},
+		{"clocksync_faultnet_reorders_total", "counter", "Packets held past their successor by injected chaos.", float64(r.FaultReorders.Load())},
+		{"clocksync_faultnet_delays_total", "counter", "Packets given bounded extra injected delay.", float64(r.FaultDelays.Load())},
+		{"clocksync_faultnet_crash_drops_total", "counter", "Packets cut by an injected crash window.", float64(r.FaultCrashDrops.Load())},
+		{"clocksync_faultnet_partition_drops_total", "counter", "Packets cut by an injected partition window.", float64(r.FaultPartitionDrops.Load())},
 		{"clocksync_last_adjust_seconds", "gauge", "Most recent convergence adjustment (signed seconds).", r.LastAdjust.Load()},
 		{"clocksync_amortization_progress", "gauge", "Fraction of the last adjustment applied to the clock.", r.AmortizationProgress.Load()},
 	}

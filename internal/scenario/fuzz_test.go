@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"clocksync/internal/adversary"
@@ -101,4 +102,57 @@ func TestRandomInModelScenariosHoldTheorem5(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzLivenetNetSchedule fuzzes the chaos-plan generator behind the livenet
+// fault-injection harness: for any seed and any sane parameter combination,
+// GenNetSchedule must produce a plan that (a) validates as f-limited under
+// Definition 2, (b) is a pure function of its inputs — byte-for-byte
+// reproducible — and (c) becomes invalid the moment the budget is actually
+// exceeded (an all-nodes crash window must never slip past Validate).
+// GenNetSchedule self-checks and panics on an internal inconsistency, so a
+// crash here is a finding, not noise.
+func FuzzLivenetNetSchedule(f *testing.F) {
+	f.Add(int64(1), uint8(7), uint8(2), uint16(16000), uint16(4000), uint32(60000), uint32(20000), byte(12), byte(5), byte(5))
+	f.Add(int64(42), uint8(4), uint8(1), uint16(8000), uint16(0), uint32(120000), uint32(0), byte(0), byte(0), byte(0))
+	f.Add(int64(-9), uint8(2), uint8(1), uint16(1), uint16(1), uint32(1), uint32(1), byte(255), byte(255), byte(255))
+	f.Fuzz(func(t *testing.T, seed int64, rawN, rawF uint8, thetaMs, dwellMs uint16, horizonMs, scrambleMs uint32, dropB, dupB, reorderB byte) {
+		n := 2 + int(rawN)%15
+		fl := 1 + int(rawF)%(n-1)
+		cfg := adversary.GenNetConfig{
+			N:        n,
+			F:        fl,
+			Theta:    simtime.Duration(1+int(thetaMs)) * simtime.Millisecond,
+			Start:    0,
+			Horizon:  simtime.Time(horizonMs) * simtime.Time(simtime.Millisecond),
+			Dwell:    simtime.Duration(dwellMs) * simtime.Millisecond,
+			Scramble: simtime.Duration(scrambleMs) * simtime.Millisecond,
+			Chaos: adversary.PacketChaos{
+				DropP:    float64(dropB) / 256 * 0.99,
+				DupP:     float64(dupB) / 256 * 0.99,
+				ReorderP: float64(reorderB) / 256 * 0.99,
+			},
+		}
+		s := adversary.GenNetSchedule(seed, cfg)
+		if err := s.Validate(cfg.N, cfg.F, cfg.Theta); err != nil {
+			t.Fatalf("generated schedule does not validate: %v\ncfg=%+v", err, cfg)
+		}
+		again := adversary.GenNetSchedule(seed, cfg)
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("schedule not reproducible from seed %d:\n%+v\nvs\n%+v", seed, s, again)
+		}
+		// Over-budget mutation: crash every node at once. n > f always, so
+		// Validate must reject it.
+		window := adversary.NetFault{Kind: adversary.FaultCrash, From: simtime.Time(cfg.Theta), To: simtime.Time(cfg.Theta).Add(simtime.Millisecond)}
+		if len(s.Faults) > 0 {
+			window.From, window.To = s.Faults[0].From, s.Faults[0].To
+		}
+		for node := 0; node < n; node++ {
+			window.Nodes = append(window.Nodes, node)
+		}
+		over := adversary.NetSchedule{Chaos: s.Chaos, Faults: append(append([]adversary.NetFault{}, s.Faults...), window)}
+		if err := over.Validate(cfg.N, cfg.F, cfg.Theta); err == nil {
+			t.Fatalf("all-%d-nodes crash window accepted under f=%d", n, fl)
+		}
+	})
 }

@@ -319,7 +319,7 @@ func Run(s Scenario) (*Result, error) {
 			observer = obs.NewObserver()
 		}
 		checker = check.New(check.Config{
-			Clocks:     clocks,
+			Clocks:     check.FromClocks(clocks),
 			Schedule:   s.Adversary,
 			Bounds:     bounds,
 			Theta:      s.Theta,
