@@ -9,7 +9,7 @@
 // Corrupted processors recover automatically after release, without any
 // fault or recovery detection.
 //
-// This file is the package's entire public surface, organized in five
+// This file is the package's entire public surface, organized in six
 // sections:
 //
 //   - Analysis: the closed-form Theorem 5 calculator (Params, Derive,
@@ -28,6 +28,10 @@
 //     in-process loopback cluster (ClusterConfig, NewCluster) running the
 //     same convergence function over authenticated links, exporting
 //     Prometheus-style /metrics and /debug/pprof.
+//   - Serving: the client-facing read path — lock-free interval-valued
+//     readings from a node (Reading, TimeSource, Node.Read), an NTP-style
+//     four-timestamp UDP query protocol (WithServeAddr, Client), and the
+//     pluggable datagram Transport it all runs over. See docs/SERVING.md.
 //
 // Deprecated spellings of older names live in deprecated.go; new code
 // should use the names below. See the examples directory for runnable
@@ -431,8 +435,20 @@ type OpsConfig = livenet.OpsConfig
 // set, serves /metrics, /status and /debug/pprof over HTTP.
 type Node = livenet.Node
 
-// NewNode validates cfg, opens the node's socket and prepares it to Run.
-func NewNode(cfg NodeConfig) (*Node, error) { return livenet.New(cfg) }
+// NodeOption customizes one NewNode call without mutating the caller's
+// NodeConfig value — the deployment-side options (serving endpoints,
+// alternate transports) that the cluster-wide protocol settings in
+// NodeConfig deliberately exclude.
+type NodeOption func(*NodeConfig)
+
+// NewNode validates cfg, applies the options, opens the node's sockets and
+// prepares it to Run.
+func NewNode(cfg NodeConfig, opts ...NodeOption) (*Node, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return livenet.New(cfg)
+}
 
 // Cluster runs n live nodes in one process on loopback sockets.
 type Cluster = livenet.Cluster
@@ -444,3 +460,69 @@ type ClusterConfig = livenet.ClusterConfig
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return livenet.NewCluster(cfg)
 }
+
+// ---------------------------------------------------------------------------
+// Serving — client-facing time reads
+// ---------------------------------------------------------------------------
+
+// Reading is one observation of a synchronized clock: the best-estimate
+// time, an uncertainty half-width, and the sync epoch it derives from. The
+// contract is interval-valued: the true cluster time lies within
+// [Time−Uncertainty, Time+Uncertainty] while the node's Theorem 5 envelope
+// holds. Produce one with Node.Read (wait-free, allocation-free) or
+// Client.Read/Client.Query.
+type Reading = livenet.Reading
+
+// TimeSource is anything producing Readings — a local Node or a remote
+// Client. Code consuming synchronized time should depend on this interface.
+type TimeSource = livenet.TimeSource
+
+// ServeConfig configures a node's dedicated time-serving endpoint. A node
+// always answers serve queries on its sync socket; a ServeConfig adds a
+// separate endpoint so client load never contends with protocol traffic.
+type ServeConfig = livenet.ServeConfig
+
+// WithServeAddr gives the node a dedicated UDP time-serving endpoint bound
+// to addr (host:port; port 0 picks a free port, read it back with
+// Node.ServeAddr).
+func WithServeAddr(addr string) NodeOption {
+	return func(c *NodeConfig) { c.Serve.Addr = addr }
+}
+
+// WithServeTransport gives the node a dedicated time-serving endpoint on an
+// already-open transport — a MemNetwork endpoint in tests, or a custom
+// datagram implementation.
+func WithServeTransport(tr Transport) NodeOption {
+	return func(c *NodeConfig) { c.Serve.Transport = tr }
+}
+
+// Client queries a node's time service over UDP (or any Transport) using the
+// four-timestamp exchange and maintains a local disciplined snapshot, so
+// Read interpolates between queries without network traffic.
+type Client = livenet.Client
+
+// ClientConfig parameterizes a Client: the server address, an optional
+// custom transport, and the per-query timeout.
+type ClientConfig = livenet.ClientConfig
+
+// NewTimeClient opens a client of the time service at cfg.Server.
+func NewTimeClient(cfg ClientConfig) (*Client, error) { return livenet.NewClient(cfg) }
+
+// Transport is the datagram abstraction the live node, the serve path and
+// the client all run over: UDP in production, MemNetwork in tests, or a
+// fault-injecting wrapper in chaos runs.
+type Transport = livenet.Transport
+
+// MemNetwork is an in-process datagram fabric for tests and benchmarks:
+// endpoints are addressed "mem://<id>" and delivery is a channel hop,
+// optionally through a simulated delay model.
+type MemNetwork = livenet.MemNetwork
+
+// MemNetworkConfig tunes a MemNetwork (seed, delay model, time scale).
+type MemNetworkConfig = livenet.MemNetworkConfig
+
+// NewMemNetwork builds an empty in-process datagram fabric.
+func NewMemNetwork(cfg MemNetworkConfig) *MemNetwork { return livenet.NewMemNetwork(cfg) }
+
+// MemAddr returns the MemNetwork address of node id ("mem://<id>").
+func MemAddr(id int) string { return livenet.MemAddr(id) }

@@ -1,0 +1,86 @@
+// Command benchserve runs the time-serving benchmarks (internal/servebench)
+// standalone via testing.Benchmark and writes the results as JSON — the
+// committed baseline BENCH_serve.json at the repository root records what a
+// served reading costs on the reference machine, including the derived
+// loopback queries-per-second.
+//
+// Usage:
+//
+//	benchserve                      # print JSON to stdout
+//	benchserve -o BENCH_serve.json  # write a specific file
+//	benchserve -update              # regenerate the committed baseline
+//	                                # (BENCH_serve.json in the working
+//	                                # directory), like benchsim -update
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"clocksync/internal/servebench"
+)
+
+// result is one benchmark's record in the JSON baseline. QPS is derived
+// (1e9/ns_per_op): for the parallel transport benchmark it is the aggregate
+// served queries per second, the headline serving number.
+type result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	QPS         float64 `json:"qps"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	update := flag.Bool("update", false, "regenerate the committed baseline BENCH_serve.json")
+	flag.Parse()
+	if *update {
+		*out = "BENCH_serve.json"
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"NodeRead", servebench.NodeRead},
+		{"ServePacketCodec", servebench.ServePacketCodec},
+		{"ServeMemTransport", servebench.ServeMemTransport},
+	}
+	var results []result
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		results = append(results, result{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			QPS:         1e9 / ns,
+		})
+		fmt.Fprintf(os.Stderr, "%-20s %14.2f ns/op %10d B/op %8d allocs/op %14.0f qps\n",
+			bm.name, ns, r.AllocedBytesPerOp(), r.AllocsPerOp(), 1e9/ns)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchserve:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		w = fh
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+}

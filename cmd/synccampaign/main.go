@@ -13,15 +13,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
 	"clocksync/internal/campaign"
 	"clocksync/internal/check"
+	"clocksync/internal/cliutil"
 	"clocksync/internal/core"
 	"clocksync/internal/obs"
 	"clocksync/internal/scenario"
@@ -62,9 +65,26 @@ func run(args []string, stdout io.Writer) error {
 		mutate   = fs.Bool("mutate", false, "loosen the convergence function (no trimming); violations are expected — a checker self-test")
 		jsonlOut = fs.String("jsonl", "", "append one JSON line per violation to this file")
 		traceSp  = fs.String("trace-spans", "", "replay the first failing seed with full event+span tracing into this JSONL file (inspect with tracestat, export with tracestat -perfetto)")
+		metrics  = cliutil.AddrVar(fs, "metrics-addr", "", "serve /debug/pprof on this HTTP address while the campaign runs (use host:0 for an OS port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *metrics != "" {
+		// Long campaigns saturate every core for minutes; a pprof endpoint
+		// is how a stuck or slow one gets diagnosed without restarting it.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		mux := obs.NewMux(func(w http.ResponseWriter) error {
+			_, err := io.WriteString(w, "# synccampaign exposes no counters; this endpoint exists for /debug/pprof\n")
+			return err
+		})
+		bound, err := obs.Serve(ctx, nil, *metrics, mux)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "pprof             http://%s/debug/pprof\n", bound)
 	}
 
 	cfg := campaign.Config{

@@ -1,0 +1,205 @@
+// Command syncload load-tests a node's time service: it opens N concurrent
+// clients against one serve endpoint, issues 4-timestamp queries for a fixed
+// duration, and reports throughput and latency quantiles from the same
+// log-bucketed histograms the node's own observability uses.
+//
+// Usage:
+//
+//	syncload -serve-addr 127.0.0.1:9123 -clients 8 -duration 10s
+//	syncload -serve-addr 10.0.0.7:9123 -clients 64 -rate 100 -duration 1m
+//
+// The target is a syncnode started with -serve-addr (or any node answering
+// on its sync socket). Each client is an independent livenet.Client on its
+// own UDP socket, so N clients exercise the server's real demultiplexing
+// path. See docs/SERVING.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"clocksync/internal/cliutil"
+	"clocksync/internal/livenet"
+	"clocksync/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "syncload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		server   = cliutil.AddrVar(flag.CommandLine, "serve-addr", "", "time service address to load (a syncnode's -serve-addr, required)")
+		clients  = flag.Int("clients", 4, "concurrent clients, each on its own UDP socket")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		timeout  = flag.Duration("timeout", time.Second, "per-query timeout")
+		rate     = flag.Float64("rate", 0, "queries per second per client (0 = as fast as replies come back)")
+	)
+	flag.Parse()
+	if *server == "" {
+		return fmt.Errorf("missing -serve-addr")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := runLoad(ctx, loadConfig{
+		server:   *server,
+		clients:  *clients,
+		duration: *duration,
+		timeout:  *timeout,
+		rate:     *rate,
+	})
+	if err != nil {
+		return err
+	}
+	printReport(os.Stdout, rep)
+	if rep.queries == 0 {
+		return fmt.Errorf("no query succeeded against %s", *server)
+	}
+	return nil
+}
+
+// loadConfig parameterizes one load run, flag-free so tests can drive it.
+type loadConfig struct {
+	server   string
+	clients  int
+	duration time.Duration
+	timeout  time.Duration
+	rate     float64 // per-client queries/sec; 0 = unthrottled
+	// transport, when non-nil, supplies each client's transport by worker
+	// index instead of a UDP socket (tests run over a MemNetwork).
+	transport func(worker int) livenet.Transport
+}
+
+// loadReport is the aggregated outcome of a run.
+type loadReport struct {
+	queries int64
+	errors  int64
+	elapsed time.Duration
+	lat     *obs.Histogram // query round-trip latency, seconds
+	maxUnc  time.Duration  // widest uncertainty any reading carried
+}
+
+// runLoad drives cfg.clients concurrent clients for cfg.duration and merges
+// their per-worker histograms — the workers share nothing on the hot path.
+func runLoad(ctx context.Context, cfg loadConfig) (*loadReport, error) {
+	if cfg.clients < 1 {
+		return nil, fmt.Errorf("need at least one client, got %d", cfg.clients)
+	}
+	if cfg.duration <= 0 {
+		return nil, fmt.Errorf("non-positive duration %v", cfg.duration)
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	var (
+		queries atomic.Int64
+		errs    atomic.Int64
+		maxUnc  atomic.Int64
+		hists   = make([]*obs.Histogram, cfg.clients)
+		wg      sync.WaitGroup
+		initErr error
+		initMu  sync.Mutex
+	)
+	start := time.Now()
+	for w := 0; w < cfg.clients; w++ {
+		w := w
+		hists[w] = &obs.Histogram{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ccfg := livenet.ClientConfig{Server: cfg.server, Timeout: cfg.timeout}
+			if cfg.transport != nil {
+				ccfg.Transport = cfg.transport(w)
+			}
+			client, err := livenet.NewClient(ccfg)
+			if err != nil {
+				initMu.Lock()
+				if initErr == nil {
+					initErr = err
+				}
+				initMu.Unlock()
+				cancel()
+				return
+			}
+			defer client.Close()
+
+			var tick *time.Ticker
+			if cfg.rate > 0 {
+				tick = time.NewTicker(time.Duration(float64(time.Second) / cfg.rate))
+				defer tick.Stop()
+			}
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				r, err := client.Query(ctx)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					errs.Add(1)
+					continue
+				}
+				hists[w].Observe(time.Since(t0).Seconds())
+				queries.Add(1)
+				for {
+					cur := maxUnc.Load()
+					if int64(r.Uncertainty) <= cur || maxUnc.CompareAndSwap(cur, int64(r.Uncertainty)) {
+						break
+					}
+				}
+				if tick != nil {
+					select {
+					case <-tick.C:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if initErr != nil {
+		return nil, initErr
+	}
+
+	merged := &obs.Histogram{}
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	return &loadReport{
+		queries: queries.Load(),
+		errors:  errs.Load(),
+		elapsed: time.Since(start),
+		lat:     merged,
+		maxUnc:  time.Duration(maxUnc.Load()),
+	}, nil
+}
+
+// printReport renders the run in the aligned key-value style of the other
+// commands.
+func printReport(w *os.File, rep *loadReport) {
+	qps := float64(rep.queries) / rep.elapsed.Seconds()
+	fmt.Fprintf(w, "queries           %d in %v (%.0f qps)\n",
+		rep.queries, rep.elapsed.Round(time.Millisecond), qps)
+	fmt.Fprintf(w, "errors            %d\n", rep.errors)
+	fmt.Fprintf(w, "latency           p50 %v  p95 %v  p99 %v\n",
+		secs(rep.lat.Quantile(0.50)), secs(rep.lat.Quantile(0.95)), secs(rep.lat.Quantile(0.99)))
+	fmt.Fprintf(w, "max uncertainty   %v\n", rep.maxUnc.Round(time.Microsecond))
+}
+
+// secs renders a histogram quantile (seconds) as a rounded duration.
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
+}

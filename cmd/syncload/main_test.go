@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"clocksync/internal/livenet"
+)
+
+// serveNode stands up one single-node cluster member with a dedicated UDP
+// serve endpoint — the smallest real target syncload can point at.
+func serveNode(t *testing.T) *livenet.Node {
+	t.Helper()
+	n, err := livenet.New(livenet.Config{
+		ID:      0,
+		Listen:  "127.0.0.1:0",
+		SyncInt: time.Second,
+		MaxWait: 100 * time.Millisecond,
+		WayOff:  5 * time.Second,
+		Serve:   livenet.ServeConfig{Addr: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go n.Run(ctx)
+	return n
+}
+
+func TestRunLoadAgainstUDPNode(t *testing.T) {
+	n := serveNode(t)
+	rep, err := runLoad(context.Background(), loadConfig{
+		server:   n.ServeAddr(),
+		clients:  3,
+		duration: 300 * time.Millisecond,
+		timeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.queries == 0 {
+		t.Fatal("no queries completed against a live local node")
+	}
+	if got := int64(rep.lat.Count()); got != rep.queries {
+		t.Errorf("histogram holds %d samples, counted %d queries", got, rep.queries)
+	}
+	if rep.maxUnc <= 0 {
+		t.Error("no reading carried an uncertainty")
+	}
+	if p99 := rep.lat.Quantile(0.99); p99 <= 0 {
+		t.Errorf("p99 latency %v not positive", p99)
+	}
+}
+
+func TestRunLoadRateThrottle(t *testing.T) {
+	n := serveNode(t)
+	rep, err := runLoad(context.Background(), loadConfig{
+		server:   n.ServeAddr(),
+		clients:  1,
+		duration: 300 * time.Millisecond,
+		timeout:  200 * time.Millisecond,
+		rate:     20, // ≤ ~7 queries in 300ms (+1 for the unthrottled first)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.queries == 0 {
+		t.Fatal("throttled run made no queries")
+	}
+	if rep.queries > 12 {
+		t.Errorf("rate 20/s for 300ms made %d queries, throttle not applied", rep.queries)
+	}
+}
+
+func TestRunLoadOverMemNetwork(t *testing.T) {
+	mn := livenet.NewMemNetwork(livenet.MemNetworkConfig{})
+	n, err := livenet.New(livenet.Config{
+		ID:        0,
+		Transport: mn.Transport(0),
+		SyncInt:   time.Second,
+		MaxWait:   100 * time.Millisecond,
+		WayOff:    5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go n.Run(ctx)
+
+	rep, err := runLoad(context.Background(), loadConfig{
+		server:   livenet.MemAddr(0),
+		clients:  2,
+		duration: 200 * time.Millisecond,
+		timeout:  100 * time.Millisecond,
+		transport: func(worker int) livenet.Transport {
+			return mn.Transport(100 + worker)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.queries == 0 {
+		t.Fatal("no queries completed over the memory fabric")
+	}
+}
+
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	if _, err := runLoad(context.Background(), loadConfig{server: "x:1", clients: 0, duration: time.Second}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := runLoad(context.Background(), loadConfig{server: "x:1", clients: 1, duration: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}

@@ -13,8 +13,9 @@
 // -drift-ppm synthesize a bad local clock for demonstrations, and
 // -transport faultudp with the -fault-* knobs degrades the node's own
 // outbound traffic (seeded drops, duplication, reordering, extra delay)
-// for soak-testing the retry and peer-health machinery. See
-// docs/LIVENET.md.
+// for soak-testing the retry and peer-health machinery. -serve-addr opens a
+// dedicated UDP time-service endpoint for clients (see docs/SERVING.md and
+// cmd/syncload). See docs/LIVENET.md.
 package main
 
 import (
@@ -24,12 +25,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"clocksync/internal/adversary"
+	"clocksync/internal/cliutil"
 	"clocksync/internal/livenet"
 	"clocksync/internal/obs"
 	"clocksync/internal/simtime"
@@ -45,7 +46,7 @@ func main() {
 func run() error {
 	var (
 		id       = flag.Int("id", 0, "this node's identity")
-		listen   = flag.String("listen", "127.0.0.1:9000", "UDP listen address")
+		listen   = cliutil.AddrVar(flag.CommandLine, "listen", "127.0.0.1:9000", "UDP listen address")
 		peersArg = flag.String("peers", "", "comma-separated peer list id=host:port,...")
 		f        = flag.Int("f", 1, "per-period fault budget (n ≥ 3f+1)")
 		syncInt  = flag.Duration("syncint", 2*time.Second, "wall time between Syncs")
@@ -55,8 +56,9 @@ func run() error {
 		offset   = flag.Duration("offset", 0, "simulated initial clock offset")
 		drift    = flag.Float64("drift-ppm", 0, "simulated clock drift in ppm")
 		report   = flag.Duration("report", 5*time.Second, "offset report interval (0 = quiet)")
-		status   = flag.String("status", "", "HTTP address serving GET /status (empty = off)")
-		metrics  = flag.String("metrics-addr", "", "HTTP address serving /metrics, /status and /debug/pprof (empty = off)")
+		status   = cliutil.AddrVar(flag.CommandLine, "status", "", "HTTP address serving GET /status (empty = off)")
+		metrics  = cliutil.AddrVar(flag.CommandLine, "metrics-addr", "", "HTTP address serving /metrics, /status and /debug/pprof (empty = off)")
+		serve    = cliutil.AddrVar(flag.CommandLine, "serve-addr", "", "dedicated UDP address answering time-service queries (empty = answer on the sync socket only)")
 		traceOut = flag.String("trace-out", "", "append the node's observability event stream as JSON lines to this file; readable with tracestat")
 		traceSp  = flag.Bool("trace-spans", false, "also record causal spans (round/estimate/adjust) into -trace-out")
 
@@ -137,6 +139,7 @@ func run() error {
 		DarkAfter:   *darkAfter,
 		SimOffset:   *offset,
 		SimDriftPPM: *drift,
+		Serve:       livenet.ServeConfig{Addr: *serve},
 		Ops: livenet.OpsConfig{
 			Observer: observer,
 			Logf:     logf,
@@ -160,6 +163,9 @@ func run() error {
 		ft.SetRecorder(node.Metrics())
 	}
 	log.Printf("node %d listening on %s with %d peers (f=%d, transport=%s)", *id, node.Addr(), len(peers), *f, *transport)
+	if *serve != "" {
+		log.Printf("node %d serving time queries on %s", *id, node.ServeAddr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -260,28 +266,15 @@ func buildTransport(o transportOpts) (livenet.Transport, error) {
 	}
 }
 
-// parsePeers parses "1=host:port,2=host:port" into a peer table.
+// parsePeers parses "1=host:port,2=host:port" into a peer table via the
+// shared helper, naming the flag in the empty-list error.
 func parsePeers(arg string, self int) (map[int]string, error) {
-	peers := make(map[int]string)
-	if strings.TrimSpace(arg) == "" {
-		return nil, fmt.Errorf("missing -peers")
-	}
-	for _, part := range strings.Split(arg, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) != 2 {
-			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+	peers, err := cliutil.ParsePeers(arg, self)
+	if err != nil {
+		if strings.TrimSpace(arg) == "" {
+			return nil, fmt.Errorf("missing -peers")
 		}
-		pid, err := strconv.Atoi(kv[0])
-		if err != nil {
-			return nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
-		}
-		if pid == self {
-			continue // ignore self-entries so all nodes can share one list
-		}
-		if _, dup := peers[pid]; dup {
-			return nil, fmt.Errorf("duplicate peer id %d", pid)
-		}
-		peers[pid] = kv[1]
+		return nil, err
 	}
 	return peers, nil
 }

@@ -26,6 +26,7 @@ import (
 	"clocksync/internal/analysis"
 	"clocksync/internal/asciiplot"
 	"clocksync/internal/baseline"
+	"clocksync/internal/cliutil"
 	"clocksync/internal/dash"
 	"clocksync/internal/network"
 	"clocksync/internal/obs"
@@ -71,7 +72,7 @@ func run() error {
 		traceOut = flag.String("trace-out", "", "write the observability event stream (rounds, skips, corruptions) as JSON lines to this file; readable with tracestat")
 		traceSp  = flag.Bool("trace-spans", false, "also record causal spans (round/estimate/reading/adjust) into -trace-out; view with tracestat -perfetto")
 		dashFlag = flag.Bool("dash", false, "render a live terminal dashboard (offsets vs Δ, histograms, recent events) during the run")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this HTTP address for the duration of the run (use host:0 for an OS port)")
+		metrics  = cliutil.AddrVar(flag.CommandLine, "metrics-addr", "", "serve /metrics and /debug/pprof on this HTTP address for the duration of the run (use host:0 for an OS port)")
 		confPath = flag.String("config", "", "load the scenario from a JSON spec file (overrides most flags)")
 		provTgt  = flag.Duration("provision", 0, "instead of simulating, compute parameters meeting this deviation target (uses -rho, -theta)")
 	)

@@ -1,5 +1,7 @@
 package clocksync
 
+import "time"
+
 // Deprecated aliases for the pre-observability API surface. They behave
 // identically to the canonical names in clocksync.go and exist only so
 // existing programs keep compiling; new code should not use them.
@@ -35,3 +37,11 @@ type LiveClusterConfig = ClusterConfig
 func NewLiveCluster(cfg LiveClusterConfig) (*LiveCluster, error) {
 	return NewCluster(cfg)
 }
+
+// NodeNow returns a node's disciplined clock as a bare instant, like the
+// deprecated Node.Now method.
+//
+// Deprecated: use n.Read(). A bare timestamp hides how wrong it may be;
+// Read returns the same instant as Reading.Time together with the
+// uncertainty half-width and sync epoch that qualify it.
+func NodeNow(n *Node) time.Time { return n.Read().Time }

@@ -1,7 +1,10 @@
 package clocksync_test
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"time"
 
 	"clocksync"
 )
@@ -82,4 +85,58 @@ func ExampleScenario_twoClique() {
 	fmt.Printf("diverged: %v\n", res.Report.MaxDeviation > res.Bounds.MaxDeviation)
 	// Output:
 	// diverged: true
+}
+
+// ExampleNode_Read stands up a node with a dedicated time-serving endpoint
+// and reads its disciplined clock as an interval-valued Reading. The example
+// has no Output line because live-network timing is nondeterministic; it is
+// compiled, not run.
+func ExampleNode_Read() {
+	node, err := clocksync.NewNode(clocksync.NodeConfig{
+		ID:      0,
+		Listen:  "127.0.0.1:0",
+		SyncInt: 2 * time.Second,
+		MaxWait: 500 * time.Millisecond,
+		WayOff:  5 * time.Second,
+	}, clocksync.WithServeAddr("127.0.0.1:0"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go node.Run(ctx)
+
+	// Read is wait-free and allocation-free: call it from any goroutine at
+	// any rate. The true cluster time is inside [Time−Uncertainty,
+	// Time+Uncertainty]; Epoch says how many Sync rounds back it.
+	r := node.Read()
+	fmt.Printf("now=%v ±%v (epoch %d)\n", r.Time, r.Uncertainty, r.Epoch)
+	fmt.Printf("query me at %s\n", node.ServeAddr())
+}
+
+// ExampleNewTimeClient queries a node's UDP time service with the
+// four-timestamp exchange and then reads interpolated time locally. It is
+// compiled, not run (live-network timing is nondeterministic).
+func ExampleNewTimeClient() {
+	client, err := clocksync.NewTimeClient(clocksync.ClientConfig{
+		Server:  "10.0.0.7:9123", // a node's Serve.Addr
+		Timeout: time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Query performs one network exchange; the reported uncertainty includes
+	// the server's own envelope plus the round-trip asymmetry bound.
+	r, err := client.Query(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server says %v ±%v\n", r.Time, r.Uncertainty)
+
+	// Between queries, Read interpolates from the last exchange without
+	// touching the network; uncertainty grows at the local drift bound.
+	var src clocksync.TimeSource = client
+	fmt.Println(src.Read().Time)
 }

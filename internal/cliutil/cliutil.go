@@ -1,0 +1,90 @@
+// Package cliutil holds the flag helpers shared by this repository's
+// commands, so syncnode, syncsim, synccampaign and syncload expose the same
+// address and peer-list syntax with identical validation and error wording.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// addrValue is a flag.Value for optional listen addresses: the empty string
+// means "disabled", anything else must be host:port with a numeric port.
+// Validation happens at parse time, so a typo fails at the flag with the
+// flag's name attached instead of surfacing later as a listener error.
+type addrValue struct{ p *string }
+
+func (v addrValue) String() string {
+	if v.p == nil {
+		return ""
+	}
+	return *v.p
+}
+
+func (v addrValue) Set(s string) error {
+	if err := CheckAddr(s); err != nil {
+		return err
+	}
+	*v.p = s
+	return nil
+}
+
+// AddrVar registers an optional host:port flag on fs and returns the bound
+// string: empty (disabled) until the user passes a valid address. Use it for
+// every -metrics-addr / -serve-addr / -status style flag so all commands
+// validate addresses identically.
+func AddrVar(fs *flag.FlagSet, name, def, usage string) *string {
+	p := new(string)
+	*p = def
+	fs.Var(addrValue{p}, name, usage)
+	return p
+}
+
+// CheckAddr validates an optional listen address: empty means disabled;
+// anything else must be host:port with a numeric port (the host part may be
+// empty, meaning all interfaces; port 0 asks the OS for a free port).
+func CheckAddr(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("address %q: want host:port", addr)
+	}
+	if _, err := strconv.Atoi(port); err != nil {
+		return fmt.Errorf("address %q: port %q is not a number", addr, port)
+	}
+	return nil
+}
+
+// ParsePeers parses a "1=host:port,2=host:port" list into a peer table.
+// Entries for self are dropped, so every node of a cluster can be handed the
+// same list. An empty list is an error: a peer flag left unset is the most
+// common deployment mistake, and a node that silently runs alone hides it.
+func ParsePeers(arg string, self int) (map[int]string, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, fmt.Errorf("empty peer list (want id=host:port,...)")
+	}
+	peers := make(map[int]string)
+	for _, part := range strings.Split(arg, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		pid, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		if pid == self {
+			continue // ignore self-entries so all nodes can share one list
+		}
+		if _, dup := peers[pid]; dup {
+			return nil, fmt.Errorf("duplicate peer id %d", pid)
+		}
+		peers[pid] = kv[1]
+	}
+	return peers, nil
+}

@@ -1,0 +1,101 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAddrVar(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // accepted value, or
+		err  string // substring of the parse error
+	}{
+		{"unset stays default", nil, "", ""},
+		{"host and port", []string{"-addr", "127.0.0.1:9000"}, "127.0.0.1:9000", ""},
+		{"port only", []string{"-addr", ":8080"}, ":8080", ""},
+		{"os-assigned port", []string{"-addr", "localhost:0"}, "localhost:0", ""},
+		{"ipv6", []string{"-addr", "[::1]:9000"}, "[::1]:9000", ""},
+		{"explicit empty disables", []string{"-addr", ""}, "", ""},
+		{"missing port", []string{"-addr", "127.0.0.1"}, "", "want host:port"},
+		{"named port", []string{"-addr", "localhost:http"}, "", "not a number"},
+		{"bare word", []string{"-addr", "nonsense"}, "", "want host:port"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			got := AddrVar(fs, "addr", "", "test address")
+			err := fs.Parse(tc.args)
+			if tc.err != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.err) {
+					t.Fatalf("Parse(%q) err = %v, want substring %q", tc.args, err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.args, err)
+			}
+			if *got != tc.want {
+				t.Fatalf("value = %q, want %q", *got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAddrVarDefaultSurvives(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	got := AddrVar(fs, "addr", "127.0.0.1:9000", "test address")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *got != "127.0.0.1:9000" {
+		t.Fatalf("default = %q, want 127.0.0.1:9000", *got)
+	}
+}
+
+func TestCheckAddr(t *testing.T) {
+	if err := CheckAddr(""); err != nil {
+		t.Errorf("empty address must be allowed (disabled): %v", err)
+	}
+	if err := CheckAddr("10.1.2.3:123"); err != nil {
+		t.Errorf("valid address rejected: %v", err)
+	}
+	if err := CheckAddr("10.1.2.3"); err == nil {
+		t.Error("portless address accepted")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("0=127.0.0.1:9000,1=127.0.0.1:9001, 2=host:9002", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hasSelf := peers[0]; hasSelf {
+		t.Fatal("self entry not ignored")
+	}
+	if peers[1] != "127.0.0.1:9001" || peers[2] != "host:9002" {
+		t.Fatalf("peers: %+v", peers)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want string
+	}{
+		{"", "empty peer list"},
+		{"   ", "empty peer list"},
+		{"1:127.0.0.1:9001", "bad peer entry"},
+		{"x=127.0.0.1:9001", "bad peer id"},
+		{"1=a,1=b", "duplicate peer id"},
+	}
+	for _, tc := range cases {
+		if _, err := ParsePeers(tc.arg, 0); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParsePeers(%q): got %v, want %q", tc.arg, err, tc.want)
+		}
+	}
+}

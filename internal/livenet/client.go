@@ -1,0 +1,229 @@
+package livenet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client issues 4-timestamp time queries against a serving Node and turns
+// the replies into interval-valued Readings. It is the reference consumer of
+// the serve wire protocol: one Client owns one Transport (UDP by default, or
+// any injected Transport — MemNetwork endpoints and FaultTransports work
+// identically), multiplexes any number of concurrent Query calls over it by
+// nonce, and keeps the last successful exchange as a local snapshot so Read
+// can answer between queries the same way a Node does between Sync rounds.
+type Client struct {
+	cfg ClientConfig
+	tr  Transport
+
+	mu      sync.Mutex
+	nonce   uint64
+	pending map[uint64]chan clientReply
+	closed  bool
+
+	snap atomic.Pointer[readSnap]
+	wg   sync.WaitGroup
+}
+
+// clientReply is one reply as captured by the client's read loop: the
+// decoded packet plus the client clock at receipt (T4), stamped in the read
+// loop so queue latency between goroutines does not pollute the timestamp.
+type clientReply struct {
+	reply ServeReply
+	t4    time.Time
+}
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	// Server is the serve address of a node — its Node.ServeAddr when a
+	// dedicated endpoint is configured, or its sync address otherwise (both
+	// answer queries).
+	Server string
+	// Transport, when non-nil, carries the client's datagrams instead of a
+	// fresh UDP socket. The client owns it and closes it on Close.
+	Transport Transport
+	// Listen is the UDP listen address when Transport is nil; empty selects
+	// an OS-assigned loopback-agnostic port (":0").
+	Listen string
+	// Timeout bounds one Query when its context has no earlier deadline
+	// (default 1s).
+	Timeout time.Duration
+}
+
+// clientDriftPPM is the drift bound a client assumes for interpolating
+// between queries: its own hardware plus the server's, each at the ρ-like
+// hostDriftPPM default.
+const clientDriftPPM = 2 * hostDriftPPM
+
+// maxUncertainty is the uncertainty reported before any successful query,
+// when the client knows nothing about the cluster's clock.
+const maxUncertainty = time.Duration(1<<63 - 1)
+
+// NewClient validates cfg and opens the client's transport.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Server == "" {
+		return nil, fmt.Errorf("livenet: ClientConfig.Server is required (a node's serve or sync address)")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Second
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		listen := cfg.Listen
+		if listen == "" {
+			listen = ":0"
+		}
+		var err error
+		tr, err = NewUDPTransport(listen)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if checker, ok := tr.(addrChecker); ok {
+		if err := checker.CheckAddr(cfg.Server); err != nil {
+			tr.Close()
+			return nil, fmt.Errorf("livenet: server %s: %w", cfg.Server, err)
+		}
+	}
+	c := &Client{cfg: cfg, tr: tr, pending: make(map[uint64]chan clientReply)}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.readLoop()
+	}()
+	return c, nil
+}
+
+// readLoop stamps and routes replies to waiting queries. Unparseable
+// datagrams and replies to expired nonces are dropped, like any datagram
+// client must.
+func (c *Client) readLoop() {
+	buf := make([]byte, 2048)
+	for {
+		nr, _, err := c.tr.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		t4 := time.Now()
+		r, err := DecodeServeReply(buf[:nr])
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[r.Nonce]
+		c.mu.Unlock()
+		if ch == nil {
+			continue // expired or duplicated reply
+		}
+		select {
+		case ch <- clientReply{reply: r, t4: t4}:
+		default: // duplicate beat us; the first reply wins
+		}
+	}
+}
+
+// Query performs one 4-timestamp exchange and returns the resulting Reading
+// (also folding it into the client's snapshot for Read). The reading's
+// uncertainty is the server's own envelope plus half the measured round-trip
+// network delay — the RTT-asymmetry bound — plus the client-side floor.
+func (c *Client) Query(ctx context.Context) (Reading, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Reading{}, ErrClosed
+	}
+	c.nonce++
+	nonce := c.nonce
+	ch := make(chan clientReply, 1)
+	c.pending[nonce] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, nonce)
+		c.mu.Unlock()
+	}()
+
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+
+	var buf [ServeQuerySize]byte
+	t1 := time.Now()
+	pkt := EncodeServeQuery(buf[:], ServeQuery{Nonce: nonce, T1: t1.UnixNano()})
+	if err := c.tr.WriteTo(pkt, c.cfg.Server); err != nil {
+		return Reading{}, fmt.Errorf("livenet: query send: %w", err)
+	}
+
+	select {
+	case cr := <-ch:
+		return c.absorb(cr)
+	case <-ctx.Done():
+		return Reading{}, fmt.Errorf("livenet: query to %s: %w", c.cfg.Server, ctx.Err())
+	}
+}
+
+// absorb turns one completed exchange into a Reading and publishes it as the
+// client's interpolation snapshot.
+func (c *Client) absorb(cr clientReply) (Reading, error) {
+	r := cr.reply
+	t1 := r.T1
+	t4 := cr.t4.UnixNano()
+	// θ = ((T2−T1)+(T3−T4))/2: the server clock minus the client clock,
+	// exact when the two one-way delays are equal, off by at most λ/2
+	// however they actually split.
+	theta := ((r.T2 - t1) + (r.T3 - t4)) / 2
+	// λ = (T4−T1)−(T3−T2): round-trip time net of server processing.
+	lambda := (t4 - t1) - (r.T3 - r.T2)
+	if lambda < 0 {
+		lambda = 0 // clock granularity artifacts; never widen θ's credit
+	}
+	unc := r.Uncertainty + time.Duration(lambda)/2 + minUncertainty
+	if unc < r.Uncertainty { // overflow guard: server already at the max
+		unc = maxUncertainty
+	}
+	reading := Reading{
+		Time:        cr.t4.Add(time.Duration(theta)),
+		Uncertainty: unc,
+		Epoch:       r.Epoch,
+	}
+	c.snap.Store(&readSnap{
+		base:    cr.t4,
+		offset:  time.Duration(theta),
+		ratePPM: 0, // the client has no rate model for its own hardware
+		unc:     unc,
+		growPPM: clientDriftPPM,
+		epoch:   r.Epoch,
+	})
+	return reading, nil
+}
+
+// Read implements TimeSource from the client's last successful query,
+// interpolating forward on the client's own clock with uncertainty growing
+// at the combined drift bound. Before any successful Query it reports the
+// client's raw clock with maximal uncertainty at epoch 0.
+func (c *Client) Read() Reading {
+	s := c.snap.Load()
+	if s == nil {
+		return Reading{Time: time.Now(), Uncertainty: maxUncertainty}
+	}
+	r := s.at(time.Now())
+	if r.Uncertainty < s.unc { // overflow of the growth term
+		r.Uncertainty = maxUncertainty
+	}
+	return r
+}
+
+// Close releases the client's transport and unblocks pending queries.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	err := c.tr.Close()
+	c.wg.Wait()
+	return err
+}

@@ -37,6 +37,10 @@ type ClusterConfig struct {
 	// (/metrics, /status, /debug/pprof) on a loopback port of its own from
 	// Start until Stop; read the bound addresses with Cluster.MetricsAddr.
 	Metrics bool
+	// Serve, when true, gives each node a dedicated UDP time-serving
+	// endpoint on a loopback port of its own; read the bound addresses
+	// with Cluster.ServeAddr.
+	Serve bool
 	// Observer receives the structured event stream of every node.
 	Observer *obs.Observer
 }
@@ -61,6 +65,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if cfg.Metrics {
 			ops.MetricsAddr = "127.0.0.1:0"
 		}
+		var serve ServeConfig
+		if cfg.Serve {
+			serve.Addr = "127.0.0.1:0"
+		}
 		node, err := New(Config{
 			ID:          i,
 			F:           cfg.F,
@@ -72,6 +80,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			SimOffset:   off,
 			SimDriftPPM: drift,
 			Ops:         ops,
+			Serve:       serve,
 		})
 		if err != nil {
 			c.closeAll()
@@ -97,7 +106,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 func (c *Cluster) closeAll() {
 	for _, node := range c.nodes {
 		if node != nil {
-			node.tr.Close()
+			node.closeTransports()
 		}
 	}
 }
@@ -143,6 +152,10 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 // until Start when ClusterConfig.Metrics is set, or always when it is not).
 func (c *Cluster) MetricsAddr(i int) string { return c.nodes[i].MetricsAddr() }
 
+// ServeAddr returns the bound time-serving address of the i-th node ("" when
+// ClusterConfig.Serve is not set).
+func (c *Cluster) ServeAddr(i int) string { return c.nodes[i].ServeAddr() }
+
 // Nodes returns all nodes.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
@@ -161,14 +174,16 @@ func (c *Cluster) Spread() time.Duration {
 	return max - min
 }
 
-// WaitConverged polls until the cluster's spread is below tol with every
-// node having completed minSyncs executions, or the timeout elapses.
+// WaitConverged waits until the cluster's spread is below tol with every
+// node having completed minSyncs executions, or the timeout elapses. The
+// wait is timer-driven — a deadline timer plus a coarse polling ticker — so
+// a slow startup parks the goroutine instead of spinning on the clock.
 func (c *Cluster) WaitConverged(tol time.Duration, minSyncs int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
 	for {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("livenet: not converged within %v (spread %v)", timeout, c.Spread())
-		}
 		ready := true
 		for _, n := range c.nodes {
 			if n.Syncs() < minSyncs {
@@ -179,6 +194,10 @@ func (c *Cluster) WaitConverged(tol time.Duration, minSyncs int, timeout time.Du
 		if ready && c.Spread() < tol {
 			return nil
 		}
-		time.Sleep(50 * time.Millisecond)
+		select {
+		case <-deadline.C:
+			return fmt.Errorf("livenet: not converged within %v (spread %v)", timeout, c.Spread())
+		case <-tick.C:
+		}
 	}
 }

@@ -142,6 +142,12 @@ type Config struct {
 	// 0 selects the default (3); negative values are rejected.
 	DarkAfter int
 
+	// Serve configures the client-facing time service: a dedicated UDP
+	// address or Transport answering 4-timestamp queries (see serve.go).
+	// The zero value disables the dedicated endpoint; queries arriving on
+	// the sync transport are always answered either way.
+	Serve ServeConfig
+
 	// Operational settings (metrics endpoint, event observer, logging).
 	Ops OpsConfig
 
@@ -226,6 +232,9 @@ func (c *Config) Validate() error {
 	if err := c.Ops.validate(); err != nil {
 		return err
 	}
+	if err := c.Serve.validate(); err != nil {
+		return err
+	}
 	if _, dup := c.Peers[c.ID]; dup {
 		return fmt.Errorf("livenet: peer table contains this node's own id %d — list only the other members", c.ID)
 	}
@@ -238,10 +247,12 @@ func (c *Config) Validate() error {
 
 // Node is a live Sync participant.
 type Node struct {
-	cfg   Config
-	tr    Transport
-	start time.Time
-	rec   *obs.Recorder
+	cfg     Config
+	tr      Transport
+	serveTr Transport // dedicated time-serving endpoint (nil unless configured)
+	start   time.Time
+	rec     *obs.Recorder
+	snap    snapPtr // published Reading snapshot (reading.go)
 
 	mu          sync.Mutex
 	peers       map[int]string // id → transport address
@@ -315,11 +326,24 @@ func New(cfg Config) (*Node, error) {
 			return nil, err
 		}
 	}
+	var serveTr Transport
+	if cfg.Serve.enabled() {
+		serveTr = cfg.Serve.Transport
+		if serveTr == nil {
+			var err error
+			serveTr, err = NewUDPTransport(cfg.Serve.Addr)
+			if err != nil {
+				tr.Close()
+				return nil, err
+			}
+		}
+	}
 	n := &Node{
-		cfg:   cfg,
-		tr:    tr,
-		peers: make(map[int]string, len(cfg.Peers)),
-		start: time.Now(),
+		cfg:     cfg,
+		tr:      tr,
+		serveTr: serveTr,
+		peers:   make(map[int]string, len(cfg.Peers)),
+		start:   time.Now(),
 		// Counters are always per-node (the /metrics endpoint labels them by
 		// id); Ops.Observer receives only the event stream.
 		rec:      obs.NewRecorder(),
@@ -327,17 +351,39 @@ func New(cfg Config) (*Node, error) {
 		peerSeen: make(map[int]peerStats),
 		health:   make(map[int]*peerHealth),
 	}
+	// Before the first round the node can only vouch for its clock to
+	// within WayOff (anything worse would be rejected as its own): publish
+	// that as the epoch-0 prior so Read and the serve path work from birth.
+	n.publishReading(cfg.WayOff)
 	checker, _ := tr.(addrChecker)
 	for id, a := range cfg.Peers {
 		if checker != nil {
 			if err := checker.CheckAddr(a); err != nil {
-				tr.Close()
+				n.closeTransports()
 				return nil, fmt.Errorf("livenet: peer %d (%s): %w", id, a, err)
 			}
 		}
 		n.peers[id] = a
 	}
 	return n, nil
+}
+
+// closeTransports releases the node's transports (sync and, when
+// configured, the dedicated serve endpoint).
+func (n *Node) closeTransports() {
+	n.tr.Close()
+	if n.serveTr != nil {
+		n.serveTr.Close()
+	}
+}
+
+// Close releases the node's sockets without running it — the cleanup path
+// for a node that was built (New) but never started, or whose Run was never
+// reached. A node that is running shuts down by cancelling Run's context,
+// which closes the sockets itself; calling Close afterwards is harmless.
+func (n *Node) Close() error {
+	n.closeTransports()
+	return nil
 }
 
 // Metrics returns the node's counter recorder. It is live: scraping it (or
@@ -534,8 +580,19 @@ func (n *Node) localClock() time.Duration {
 	return n.cfg.SimOffset + drift + adj
 }
 
-// Now returns the node's disciplined clock reading.
-func (n *Node) Now() time.Time { return time.Now().Add(n.localClock()) }
+// clockNow returns the node's disciplined clock reading, exact under the
+// protocol mutex — the timestamp source for the sync wire (request answers
+// and the S/R instants of §3.1 estimation). The serving read path uses the
+// published snapshot instead (Read).
+func (n *Node) clockNow() time.Time { return time.Now().Add(n.localClock()) }
+
+// Now returns the node's disciplined clock reading as a bare timestamp.
+//
+// Deprecated: use Read, which returns the same instant together with the
+// uncertainty half-width and sync epoch that qualify it. A bare timestamp
+// hides how much it can be trusted; every consumer found so far actually
+// wanted the interval.
+func (n *Node) Now() time.Time { return n.clockNow() }
 
 // Offset returns the node's current clock offset from the host clock — the
 // live analogue of the simulator's bias, measurable because the demo knows
@@ -550,6 +607,14 @@ func (n *Node) InjectOffset(d time.Duration) {
 	n.mu.Lock()
 	n.adj += d
 	n.mu.Unlock()
+	// The published snapshot just became wrong by exactly |d|: republish
+	// with the injected error folded into the uncertainty so readings stay
+	// honest until the next round re-disciplines the clock.
+	unc := n.snap.Load().at(time.Now()).Uncertainty
+	if d < 0 {
+		d = -d
+	}
+	n.publishReading(unc + d)
 }
 
 // Syncs returns the number of completed Sync executions.
@@ -590,8 +655,16 @@ func (n *Node) Run(ctx context.Context) error {
 		defer n.wg.Done()
 		n.syncLoop(ctx)
 	}()
+	if n.serveTr != nil {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveLoop()
+		}()
+		n.logf("serving time queries on %s", n.serveTr.LocalAddr())
+	}
 	<-ctx.Done()
-	n.tr.Close() // unblocks the read loop
+	n.closeTransports() // unblocks the read and serve loops
 	n.wg.Wait()
 	return ctx.Err()
 }
@@ -603,8 +676,11 @@ func (n *Node) logf(format string, args ...any) {
 }
 
 // readLoop answers time requests and routes responses to pending pings.
+// Serve queries (binary magic, serve.go) share the socket with the JSON
+// sync wire and are dispatched before JSON parsing is attempted.
 func (n *Node) readLoop(ctx context.Context) {
 	buf := make([]byte, 2048)
+	scratch := make([]byte, ServeReplySize)
 	for {
 		nr, from, err := n.tr.ReadFrom(buf)
 		if err != nil {
@@ -612,6 +688,10 @@ func (n *Node) readLoop(ctx context.Context) {
 				return
 			}
 			n.logf("read error: %v", err)
+			continue
+		}
+		if isServePacket(buf[:nr]) {
+			n.answerServe(buf[:nr], from, scratch, n.tr)
 			continue
 		}
 		var msg wireMsg
@@ -646,7 +726,7 @@ func (n *Node) answer(req wireMsg, from string) {
 		Type:  "r",
 		From:  n.cfg.ID,
 		Nonce: req.Nonce,
-		Clock: n.Now().UnixNano(),
+		Clock: n.clockNow().UnixNano(),
 	}
 	n.send(resp, from)
 }
@@ -669,7 +749,7 @@ func (n *Node) send(msg wireMsg, to string) {
 }
 
 func (n *Node) handleResponse(msg wireMsg) {
-	r := n.Now() // local clock reading R at receipt
+	r := n.clockNow() // local clock reading R at receipt
 	n.mu.Lock()
 	p, ok := n.pending[msg.Nonce]
 	if ok {
@@ -768,7 +848,7 @@ func (n *Node) runSync(ctx context.Context) {
 
 	retryCfg := n.cfg.Retry.withDefaults(n.cfg.MaxWait)
 	ch := make(chan protocol.Estimate, len(targets)*retryCfg.Attempts+1)
-	sentAt := n.Now() // local clock reading S; attempts share the send instant
+	sentAt := n.clockNow() // local clock reading S; attempts share the send instant
 	sentUnix := float64(time.Now().UnixNano()) / 1e9
 	var roundNonces []uint64
 
@@ -965,12 +1045,31 @@ collect:
 		n.logf("sync: too few answers (%d) for f=%d", len(ests)-1, n.cfg.F)
 		return
 	}
+	// The round's serving uncertainty: after the adjustment, this node's
+	// clock is within max(|D|+A) of every good peer it heard (each peer's
+	// true offset lies in [D−A, D+A]), so the true cluster time — which
+	// Theorem 5 keeps inside the good-set envelope — is within that bound
+	// of the disciplined clock.
+	var roundUnc time.Duration
+	for _, e := range ests {
+		if !e.OK || e.Peer == n.cfg.ID {
+			continue
+		}
+		d := float64(e.D)
+		if d < 0 {
+			d = -d
+		}
+		if b := time.Duration((d + float64(e.A)) * float64(time.Second)); b > roundUnc {
+			roundUnc = b
+		}
+	}
 	dd := time.Duration(float64(delta) * float64(time.Second))
 	n.mu.Lock()
 	n.adj += dd
 	n.syncs++
 	n.last = dd
 	n.mu.Unlock()
+	n.publishReading(roundUnc)
 	n.rec.SyncRounds.Inc()
 	if jumped {
 		n.rec.WayOffJumps.Inc()

@@ -1,0 +1,118 @@
+package livenet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The serving read path. Each Sync round publishes one immutable snapshot of
+// the node's clock discipline — offset, rate, epoch and an uncertainty
+// envelope — behind an atomic pointer. Node.Read interpolates from the
+// snapshot without taking a lock or allocating, so millions of concurrent
+// readers (in-process callers and the UDP serve loop alike) never contend
+// with the protocol, and every reading carries the δ-derived error bound the
+// resilience-bound analyses say a client is owed instead of a bare
+// timestamp.
+
+// Reading is one observation of the node's synchronized clock: the
+// best-estimate time, a containment half-width, and the sync epoch it was
+// derived from.
+//
+// The contract is interval-valued time: the true cluster time lies within
+// [Time−Uncertainty, Time+Uncertainty] as long as the node's Theorem 5
+// envelope holds. Uncertainty grows between Sync rounds at the hardware
+// drift bound and snaps back down when a round commits a fresh snapshot.
+type Reading struct {
+	// Time is the best-estimate synchronized time.
+	Time time.Time
+	// Uncertainty is the half-width of the containment interval.
+	Uncertainty time.Duration
+	// Epoch counts the Sync rounds committed when the underlying snapshot
+	// was published; 0 means the node has not completed a round yet (the
+	// reading then reflects only the node's own clock, with a WayOff-wide
+	// uncertainty).
+	Epoch uint64
+}
+
+// TimeSource is anything that can produce a Reading: a local Node (wait-free
+// snapshot interpolation) or a Client (interpolation from its last server
+// query). Code serving time to users should depend on this interface, not on
+// a concrete node.
+type TimeSource interface {
+	Read() Reading
+}
+
+// readSnap is one immutable published clock snapshot. All fields are fixed
+// at publication; Read interpolates forward from Base using Rate and grows
+// the uncertainty at GrowPPM.
+type readSnap struct {
+	base    time.Time     // host instant of publication
+	offset  time.Duration // logical − host clock at base
+	ratePPM float64       // logical clock rate error vs host, in ppm
+	unc     time.Duration // uncertainty half-width at base
+	growPPM float64       // uncertainty growth per host second, in ppm
+	epoch   uint64        // sync rounds committed at publication
+}
+
+// hostDriftPPM is the assumed drift bound of the host hardware clock (the
+// paper's ρ ≈ 1e-4 = 100 ppm), used to grow a snapshot's uncertainty between
+// rounds. Simulated drift (SimDriftPPM) is added on top, since it is real
+// error from the cluster's point of view.
+const hostDriftPPM = 100
+
+// minUncertainty floors every published uncertainty: clock-read granularity,
+// scheduling jitter between stamping and sending, and the float rounding of
+// the estimate arithmetic are never zero.
+const minUncertainty = 10 * time.Microsecond
+
+// at interpolates the snapshot to the host instant now.
+func (s *readSnap) at(now time.Time) Reading {
+	el := float64(now.Sub(s.base))
+	return Reading{
+		Time:        now.Add(s.offset + time.Duration(el*s.ratePPM*1e-6)),
+		Uncertainty: s.unc + time.Duration(el*s.growPPM*1e-6),
+		Epoch:       s.epoch,
+	}
+}
+
+// Read returns the node's disciplined clock as an interval-valued Reading.
+// It is wait-free and allocation-free: one atomic pointer load plus
+// interpolation arithmetic, safe to call from any goroutine at any rate.
+func (n *Node) Read() Reading {
+	return n.snap.Load().at(time.Now())
+}
+
+// publishReading derives a fresh snapshot from the node's current discipline
+// state and publishes it for readers. unc is the uncertainty half-width at
+// publication (floored at minUncertainty); callers pass the round's
+// estimate-derived bound, or a conservative prior before the first round.
+func (n *Node) publishReading(unc time.Duration) {
+	if unc < minUncertainty {
+		unc = minUncertainty
+	}
+	now := time.Now()
+	elapsed := now.Sub(n.start)
+	drift := time.Duration(float64(elapsed) * n.cfg.SimDriftPPM * 1e-6)
+	n.mu.Lock()
+	adj := n.adj
+	epoch := n.syncs
+	n.mu.Unlock()
+	grow := float64(hostDriftPPM)
+	if d := n.cfg.SimDriftPPM; d > 0 {
+		grow += d
+	} else {
+		grow -= d
+	}
+	n.snap.Store(&readSnap{
+		base:    now,
+		offset:  n.cfg.SimOffset + drift + adj,
+		ratePPM: n.cfg.SimDriftPPM,
+		unc:     unc,
+		growPPM: grow,
+		epoch:   uint64(epoch),
+	})
+}
+
+// snapPtr is the atomic holder embedded in Node (split out so livenet.go
+// stays focused on the protocol).
+type snapPtr = atomic.Pointer[readSnap]

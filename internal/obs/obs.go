@@ -84,6 +84,11 @@ type Recorder struct {
 	FaultCrashDrops     Counter // packets cut by a crash window
 	FaultPartitionDrops Counter // packets cut by a partition window
 
+	// Time-serving counters (livenet serve path; zero when nobody queries).
+	ServeQueries Counter // 4-timestamp time queries answered
+	ServeBad     Counter // malformed serve datagrams discarded
+	ServeDropped Counter // serve replies the transport failed to send
+
 	// Convergence gauges.
 	LastAdjust Gauge // most recent convergence adjustment, in seconds (signed)
 	// AmortizationProgress is the fraction of the last adjustment already
@@ -131,6 +136,9 @@ func (r *Recorder) Snapshot() []Metric {
 		{"clocksync_faultnet_delays_total", "counter", "Packets given bounded extra injected delay.", float64(r.FaultDelays.Load())},
 		{"clocksync_faultnet_crash_drops_total", "counter", "Packets cut by an injected crash window.", float64(r.FaultCrashDrops.Load())},
 		{"clocksync_faultnet_partition_drops_total", "counter", "Packets cut by an injected partition window.", float64(r.FaultPartitionDrops.Load())},
+		{"clocksync_serve_queries_total", "counter", "Time queries answered on the serve path.", float64(r.ServeQueries.Load())},
+		{"clocksync_serve_bad_total", "counter", "Malformed serve datagrams discarded.", float64(r.ServeBad.Load())},
+		{"clocksync_serve_dropped_total", "counter", "Serve replies the transport failed to send.", float64(r.ServeDropped.Load())},
 		{"clocksync_last_adjust_seconds", "gauge", "Most recent convergence adjustment (signed seconds).", r.LastAdjust.Load()},
 		{"clocksync_amortization_progress", "gauge", "Fraction of the last adjustment applied to the clock.", r.AmortizationProgress.Load()},
 	}

@@ -1,0 +1,5 @@
+//go:build race
+
+package servebench
+
+const raceEnabled = true
