@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConformCampaignClean: the honest protocol refines the spec across a
+// small campaign and the summary reports how much was replayed.
+func TestConformCampaignClean(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-runs", "4", "-seed", "1", "-duration", "10m", "-conform"}, &out)
+	if err != nil {
+		t.Fatalf("honest conform campaign failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "4 runs refined against the spec") {
+		t.Fatalf("summary missing conformance line:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), " 0 rounds replayed") {
+		t.Fatalf("refinement replayed zero rounds:\n%s", out.String())
+	}
+}
+
+// TestConformCampaignCatchesMutation: -mutate drops the trimming, so the
+// recorded adjustments diverge from the spec's arithmetic — the run must
+// exit non-zero with refinement violations printed.
+func TestConformCampaignCatchesMutation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-runs", "4", "-seed", "1", "-duration", "10m", "-conform", "-mutate"}, &out)
+	if err == nil {
+		t.Fatalf("mutated conform campaign exited clean:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "refinement") {
+		t.Fatalf("error does not mention refinement: %v", err)
+	}
+	if !strings.Contains(out.String(), "refinement:") {
+		t.Fatalf("no refinement violations printed:\n%s", out.String())
+	}
+}

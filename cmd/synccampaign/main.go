@@ -9,6 +9,7 @@
 //
 //	synccampaign -runs 1000 -seed 1
 //	synccampaign -runs 200 -seed 1 -shrink -jsonl violations.jsonl
+//	synccampaign -runs 100 -conform         # + spec refinement over every run's spans
 //	synccampaign -runs 50 -mutate -shrink   # loosened protocol: violations expected
 package main
 
@@ -62,6 +63,7 @@ func run(args []string, stdout io.Writer) error {
 		corrupts = fs.Int("corruptions", 4, "max corruptions per generated schedule")
 		workers  = fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		shrink   = fs.Bool("shrink", false, "minimize each failing schedule to a smallest reproducer")
+		conform  = fs.Bool("conform", false, "replay every run's span stream through the abstract Sync-round spec (refinement check; see docs/CONFORMANCE.md)")
 		mutate   = fs.Bool("mutate", false, "loosen the convergence function (no trimming); violations are expected — a checker self-test")
 		jsonlOut = fs.String("jsonl", "", "append one JSON line per violation to this file")
 		traceSp  = fs.String("trace-spans", "", "replay the first failing seed with full event+span tracing into this JSONL file (inspect with tracestat, export with tracestat -perfetto)")
@@ -100,6 +102,7 @@ func run(args []string, stdout io.Writer) error {
 		DropProb:       *drop,
 		MaxCorruptions: *corrupts,
 		Workers:        *workers,
+		Conform:        *conform,
 	}
 	if *mutate {
 		cfg.Mutate = func(c *core.Config, _ scenario.BuildContext) { c.F = 0 }
@@ -117,6 +120,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "checked           deviation Δ, discontinuity, accuracy, recovery halving\n")
 	fmt.Fprintf(stdout, "result            %d completed, %d failing seeds, %d violations\n",
 		res.Completed, len(res.Failures), res.TotalViolations)
+	if *conform {
+		fmt.Fprintf(stdout, "conformance       %d runs refined against the spec, %d rounds replayed, %d refinement violations\n",
+			res.Refined, res.RefinedRounds, res.ConformViolations)
+	}
 
 	if *jsonlOut != "" && len(res.Failures) > 0 {
 		if err := writeJSONL(*jsonlOut, res.Failures); err != nil {
@@ -127,8 +134,15 @@ func run(args []string, stdout io.Writer) error {
 
 	for _, fail := range res.Failures {
 		fmt.Fprintf(stdout, "\nseed %d: %d violations under %d corruptions\n",
-			fail.Seed, len(fail.Violations), len(fail.Schedule.Corruptions))
+			fail.Seed, len(fail.Violations)+len(fail.Conform), len(fail.Schedule.Corruptions))
 		printViolations(stdout, fail.Violations, 3)
+		for i, v := range fail.Conform {
+			if i == 3 {
+				fmt.Fprintf(stdout, "  … %d more refinement violations\n", len(fail.Conform)-3)
+				break
+			}
+			fmt.Fprintf(stdout, "  refinement: %s\n", v.String())
+		}
 		if *shrink {
 			sr := cfg.Shrink(fail.Seed, fail.Schedule, 0)
 			if len(sr.Violations) == 0 {
@@ -152,8 +166,9 @@ func run(args []string, stdout io.Writer) error {
 			res.Failures[0].Seed, *traceSp)
 	}
 
-	if res.TotalViolations > 0 {
-		return fmt.Errorf("%d invariant violations across %d failing seeds", res.TotalViolations, len(res.Failures))
+	if res.TotalViolations > 0 || res.ConformViolations > 0 {
+		return fmt.Errorf("%d invariant + %d refinement violations across %d failing seeds",
+			res.TotalViolations, res.ConformViolations, len(res.Failures))
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 //	tracestat run.jsonl
 //	tracestat -plot run.jsonl
 //	tracestat -perfetto run.json run.jsonl   # open in ui.perfetto.dev
+//	tracestat -conform -conform-f 2 run.jsonl   # spec refinement check
 //	tracestat -          # read from stdin
 package main
 
@@ -21,6 +22,7 @@ import (
 	"os"
 
 	"clocksync/internal/asciiplot"
+	"clocksync/internal/conformance"
 	"clocksync/internal/trace"
 )
 
@@ -36,8 +38,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs.SetOutput(io.Discard)
 	plot := fs.Bool("plot", false, "render ASCII charts of the sample series")
 	perfetto := fs.String("perfetto", "", "write a Chrome/Perfetto trace-event JSON file here")
+	conform := fs.Bool("conform", false, "replay the trace through the abstract Sync-round spec (refinement check; see docs/CONFORMANCE.md)")
+	conformF := fs.Int("conform-f", 2, "fault bound f the traced run was configured with (trimming depth)")
+	conformWayOff := fs.Float64("conform-wayoff", 0, "WayOff threshold in trace time units (0 = branch decision unpinned)")
+	conformTol := fs.Float64("conform-tol", 0, "numeric tolerance for matching recorded adjustments (0 = default 1e-6)")
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracestat [-plot] [-perfetto out.json] <file.jsonl | ->")
+		return fmt.Errorf("usage: tracestat [-plot] [-perfetto out.json] [-conform -conform-f F] <file.jsonl | ->")
 	}
 	var r io.Reader
 	if fs.Arg(0) == "-" {
@@ -75,7 +81,29 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "perfetto trace written to %s\n", *perfetto)
 	}
 	if *plot {
-		return writePlots(stdout, events)
+		if err := writePlots(stdout, events); err != nil {
+			return err
+		}
+	}
+	if *conform {
+		rep, err := conformance.Check(events, conformance.Config{
+			F: *conformF, WayOff: *conformWayOff, Tol: *conformTol,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n%s\n", rep.Summary())
+		const limit = 10
+		for i, v := range rep.Violations {
+			if i == limit {
+				fmt.Fprintf(stdout, "  … %d more\n", len(rep.Violations)-limit)
+				break
+			}
+			fmt.Fprintf(stdout, "  %s\n", v.String())
+		}
+		if !rep.Ok() {
+			return fmt.Errorf("trace does not refine the spec: %d violations", len(rep.Violations))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package clocksync_test
+
+import (
+	"testing"
+	"time"
+
+	"clocksync"
+)
+
+// The deprecated names must stay exact aliases of the canonical API — a
+// drifted alias would silently fork the two surfaces. Compile-time identity
+// checks cost nothing and pin that.
+var (
+	_ clocksync.NodeConfig                                              = clocksync.LiveConfig{}
+	_ *clocksync.Node                                                   = (*clocksync.LiveNode)(nil)
+	_ clocksync.ClusterConfig                                           = clocksync.LiveClusterConfig{}
+	_ *clocksync.Cluster                                                = (*clocksync.LiveCluster)(nil)
+	_ func(clocksync.LiveConfig) (*clocksync.LiveNode, error)           = clocksync.NewLiveNode
+	_ func(clocksync.LiveClusterConfig) (*clocksync.LiveCluster, error) = clocksync.NewLiveCluster
+	_ func(*clocksync.Node) time.Time                                   = clocksync.NodeNow
+)
+
+// TestNodeNowDelegatesToRead pins the documented contract of the deprecated
+// bare-timestamp accessors: NodeNow and Node.Now return the same instant
+// Reading.Time carries, just stripped of its uncertainty — so the deprecated
+// value must sit inside the interval a Read taken around it brackets.
+func TestNodeNowDelegatesToRead(t *testing.T) {
+	cluster, err := clocksync.NewLiveCluster(clocksync.LiveClusterConfig{
+		N:       4,
+		F:       1,
+		SyncInt: 50 * time.Millisecond,
+		MaxWait: 25 * time.Millisecond,
+		WayOff:  5 * time.Second,
+		Offsets: []time.Duration{-2 * time.Millisecond, 0, 3 * time.Millisecond, time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	if err := cluster.WaitConverged(5*time.Millisecond, 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, node := range cluster.Nodes() {
+		before := node.Read()
+		if before.Epoch == 0 {
+			t.Fatalf("node %d converged but its reading has epoch 0", i)
+		}
+		start := time.Now()
+		bare := clocksync.NodeNow(node)
+		method := node.Now()
+		after := node.Read()
+		elapsed := time.Since(start)
+
+		// Both deprecated accessors interpolate the same discipline state the
+		// Reading carries; they may diverge from Reading.Time only by the
+		// reading's uncertainty plus the wall time between the calls.
+		slack := before.Uncertainty + after.Uncertainty + elapsed + time.Millisecond
+		for _, got := range []time.Time{bare, method} {
+			if d := got.Sub(before.Time); d < -slack || d > slack+elapsed {
+				t.Errorf("node %d: deprecated timestamp %v is %v from Reading.Time %v (allowed %v)",
+					i, got, d, before.Time, slack)
+			}
+		}
+		// The bracket must be ordered: a Read taken before never reads ahead
+		// of one taken after.
+		if after.Time.Before(before.Time) {
+			t.Errorf("node %d: Read went backwards: %v then %v", i, before.Time, after.Time)
+		}
+	}
+}

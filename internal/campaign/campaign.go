@@ -20,6 +20,7 @@ import (
 
 	"clocksync/internal/adversary"
 	"clocksync/internal/check"
+	"clocksync/internal/conformance"
 	"clocksync/internal/core"
 	"clocksync/internal/des"
 	"clocksync/internal/scenario"
@@ -62,6 +63,14 @@ type Config struct {
 	// to prove the checker has teeth: a loosened convergence function must
 	// produce violations.
 	Mutate func(*core.Config, scenario.BuildContext)
+
+	// Conform additionally records every run's span/event stream and
+	// replays it through the abstract spec's transition relation
+	// (internal/conformance): every observed round must be an allowed
+	// ComputeAdjust/SkipRound with the exact Figure 1 arithmetic for the
+	// declared F. Refinement violations are reported per failing seed
+	// alongside the online checker's.
+	Conform bool
 }
 
 // withDefaults fills unset fields.
@@ -104,11 +113,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Failure is one run whose checker recorded at least one violation.
+// Failure is one run whose checker recorded at least one violation —
+// online Theorem 5 violations, refinement violations, or both.
 type Failure struct {
 	Seed       int64
 	Schedule   adversary.Schedule
 	Violations []check.Violation
+	// Conform lists the run's refinement violations (Config.Conform).
+	Conform []conformance.Violation
 }
 
 // Result summarizes a campaign.
@@ -119,6 +131,12 @@ type Result struct {
 	// completed run satisfied all checked invariants.
 	Failures        []Failure
 	TotalViolations int
+	// Refined counts runs replayed through the spec (Config.Conform);
+	// RefinedRounds the rounds those replays covered; ConformViolations
+	// the refinement violations across all runs.
+	Refined           int
+	RefinedRounds     int
+	ConformViolations int
 }
 
 // runOutcome is what one campaign run leaves behind: only the failure data
@@ -128,6 +146,8 @@ type runOutcome struct {
 	completed  bool
 	schedule   adversary.Schedule
 	violations []check.Violation
+	conform    []conformance.Violation
+	rounds     int
 	err        error
 }
 
@@ -157,6 +177,10 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			sim := des.New(0) // reset to each run's seed by scenario.Run
+			var col *conformance.Collector
+			if cfg.Conform {
+				col = &conformance.Collector{}
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= cfg.Runs {
@@ -165,6 +189,11 @@ func Run(cfg Config) (*Result, error) {
 				seed := cfg.Seed + int64(i)
 				s := cfg.Scenario(seed)
 				s.ReuseSim = sim
+				if col != nil {
+					col.Reset()
+					s.EventSink = col
+					s.SpanSink = col
+				}
 				r, err := scenario.Run(s)
 				if err != nil {
 					outcomes[i].err = fmt.Errorf("seed %d: %w", seed, err)
@@ -174,6 +203,21 @@ func Run(cfg Config) (*Result, error) {
 				if len(r.Violations) > 0 {
 					outcomes[i].schedule = r.Scenario.Adversary
 					outcomes[i].violations = r.Violations
+				}
+				if col != nil {
+					rep, err := conformance.Check(col.Events(), conformance.Config{
+						F:      cfg.F,
+						WayOff: float64(r.Scenario.WayOff),
+					})
+					if err != nil {
+						outcomes[i].err = fmt.Errorf("seed %d: conformance: %w", seed, err)
+						continue
+					}
+					outcomes[i].rounds = rep.Stats.Rounds
+					if len(rep.Violations) > 0 {
+						outcomes[i].schedule = r.Scenario.Adversary
+						outcomes[i].conform = rep.Violations
+					}
 				}
 			}
 		}()
@@ -190,12 +234,18 @@ func Run(cfg Config) (*Result, error) {
 			continue
 		}
 		res.Completed++
-		if len(o.violations) > 0 {
+		if cfg.Conform {
+			res.Refined++
+			res.RefinedRounds += o.rounds
+		}
+		if len(o.violations) > 0 || len(o.conform) > 0 {
 			res.TotalViolations += len(o.violations)
+			res.ConformViolations += len(o.conform)
 			res.Failures = append(res.Failures, Failure{
 				Seed:       cfg.Seed + int64(i),
 				Schedule:   o.schedule,
 				Violations: o.violations,
+				Conform:    o.conform,
 			})
 		}
 	}

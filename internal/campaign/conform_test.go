@@ -1,0 +1,75 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// TestConformHonestCampaign: with Conform set every run's span stream is
+// replayed through the spec; the honest protocol must refine it, and the
+// result must prove the replay covered real rounds — a refinement pass over
+// zero rounds proves nothing.
+func TestConformHonestCampaign(t *testing.T) {
+	runs := 16
+	if testing.Short() {
+		runs = 8
+	}
+	cfg := Config{Runs: runs, Seed: 1, Conform: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if res.Completed != runs || res.Refined != runs {
+		t.Fatalf("completed/refined = %d/%d, want %d/%d", res.Completed, res.Refined, runs, runs)
+	}
+	if res.RefinedRounds == 0 {
+		t.Fatal("refinement replayed zero rounds")
+	}
+	if res.ConformViolations != 0 {
+		for _, f := range res.Failures {
+			for _, v := range f.Conform {
+				t.Errorf("seed %d: honest run failed refinement: %s", f.Seed, v.String())
+			}
+		}
+	}
+	for _, f := range res.Failures {
+		if len(f.Violations) > 0 {
+			t.Errorf("seed %d: online violations on the honest protocol: %s", f.Seed, f.Violations[0])
+		}
+	}
+
+	// The conform campaign must be reproducible run-to-run, like the plain one.
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("campaign error on rerun: %v", err)
+	}
+	if again.RefinedRounds != res.RefinedRounds || again.ConformViolations != res.ConformViolations {
+		t.Fatalf("conform campaign not reproducible: rounds %d/%d, violations %d/%d",
+			res.RefinedRounds, again.RefinedRounds, res.ConformViolations, again.ConformViolations)
+	}
+}
+
+// TestConformCatchesMutation: the refinement bridge has teeth independent of
+// the online Theorem 5 checker — the loosened trimming mutation (core runs
+// with f=0 while the campaign declares f=2) produces adjustments the spec's
+// trimmed arithmetic cannot reproduce, so runs fail on refinement with the
+// offending round identified.
+func TestConformCatchesMutation(t *testing.T) {
+	res, err := Run(Config{Runs: 8, Seed: 1, Conform: true, Mutate: loosenTrimming})
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if res.ConformViolations == 0 {
+		t.Fatal("mutated protocol passed refinement — the bridge is toothless")
+	}
+	found := false
+	for _, f := range res.Failures {
+		for _, v := range f.Conform {
+			if v.Round != 0 && v.Action != "" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("refinement violations do not identify the offending transition")
+	}
+}

@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"clocksync/internal/des"
+	"clocksync/internal/obs"
+	"clocksync/internal/scenario"
+)
+
+// captureStream runs one generated scenario with the full event+span stream
+// captured as JSONL bytes. reuse, when non-nil, plays the campaign worker's
+// role: the run recycles that simulator arena instead of building a fresh
+// one.
+func captureStream(t *testing.T, cfg Config, seed int64, reuse *des.Sim) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	s := cfg.Scenario(seed)
+	s.EventSink = sink
+	s.SpanSink = sink
+	s.ReuseSim = reuse
+	if _, err := scenario.Run(s); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("seed %d: run emitted nothing", seed)
+	}
+	return buf.Bytes()
+}
+
+// diffAt reports the first byte index where a and b differ.
+func diffAt(a, b []byte) int {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// TestCrossRunnerDeterminism pins the property every campaign verdict rests
+// on: the same (seed, spec) must produce a byte-identical event+span stream
+// no matter which runner executes it — a fresh standalone simulator, a
+// dirty recycled arena (Scenario.ReuseSim, the campaign worker's steady
+// state), or the streaming scheduler's sequential worker loop. A divergence
+// here would mean campaign failures cannot be replayed by seed.
+func TestCrossRunnerDeterminism(t *testing.T) {
+	cfg := Config{Duration: 600}.withDefaults()
+	seeds := []int64{0, 1, 2, 3}
+
+	// Reference: each seed standalone on a fresh simulator.
+	fresh := make(map[int64][]byte, len(seeds))
+	for _, seed := range seeds {
+		fresh[seed] = captureStream(t, cfg, seed, nil)
+	}
+
+	// A recycled arena left dirty by a different seed's run must not leak
+	// state into the next run.
+	sim := des.New(0)
+	captureStream(t, cfg, seeds[1], sim) // dirty the arena
+	if got := captureStream(t, cfg, seeds[0], sim); !bytes.Equal(got, fresh[seeds[0]]) {
+		t.Errorf("dirty ReuseSim diverges from fresh run at byte %d of %d/%d",
+			diffAt(got, fresh[seeds[0]]), len(got), len(fresh[seeds[0]]))
+	}
+
+	// The campaign worker's exact loop shape: one arena, seeds in sequence.
+	worker := des.New(0)
+	for _, seed := range seeds {
+		if got := captureStream(t, cfg, seed, worker); !bytes.Equal(got, fresh[seed]) {
+			t.Errorf("worker-loop stream for seed %d diverges at byte %d of %d/%d",
+				seed, diffAt(got, fresh[seed]), len(got), len(fresh[seed]))
+		}
+	}
+}
+
+// TestCampaignSchedulerDeterminism runs the real streaming pool twice at
+// different worker counts over the same seed range with refinement enabled:
+// every aggregate the scheduler reports must be identical — work-stealing
+// order must never change what was computed, only when.
+func TestCampaignSchedulerDeterminism(t *testing.T) {
+	base := Config{Runs: 6, Seed: 1, Duration: 600, Conform: true}
+	single := base
+	single.Workers = 1
+	wide := base
+	wide.Workers = 4
+
+	a, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.TotalViolations != b.TotalViolations ||
+		a.ConformViolations != b.ConformViolations || a.RefinedRounds != b.RefinedRounds ||
+		len(a.Failures) != len(b.Failures) {
+		t.Fatalf("scheduler width changed the verdict:\n1 worker: %+v\n4 workers: %+v", a, b)
+	}
+}

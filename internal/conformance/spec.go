@@ -1,0 +1,64 @@
+// Package conformance replays recorded span/event streams through the
+// abstract Sync-round spec of internal/mc: every observed round must
+// decompose into allowed spec actions (SendEstimate, ReceiveReply, Timeout,
+// ComputeAdjust, ApplyAdjust, SkipRound) with the arithmetic of the paper's
+// Figure 1. It is a refinement check — the implementation may do less than
+// the spec allows (drop rounds, retry messages), but every transition it
+// does take must be one the spec permits.
+//
+// The package deliberately reimplements the convergence function (sort-
+// based, float64) rather than calling internal/core: an arithmetic bug in
+// core's quickselect scratch must show up as a refinement violation, not be
+// faithfully replayed.
+package conformance
+
+import (
+	"math"
+	"sort"
+)
+
+// estimate is one reading of a round: the measured offset d with error
+// half-width a, or a timed-out peer (ok=false, treated as ±∞ exactly as
+// Figure 1 does).
+type estimate struct {
+	peer int
+	d, a float64
+	ok   bool
+}
+
+// extremes returns the paper's trimmed extremes over the readings: m is the
+// (f+1)-st smallest overestimate d+a, M the (f+1)-st largest underestimate
+// d−a, with failed readings contributing +∞/−∞.
+func extremes(f int, ests []estimate) (m, M float64) {
+	overs := make([]float64, len(ests))
+	unders := make([]float64, len(ests))
+	for i, e := range ests {
+		if e.ok {
+			overs[i], unders[i] = e.d+e.a, e.d-e.a
+		} else {
+			overs[i], unders[i] = math.Inf(1), math.Inf(-1)
+		}
+	}
+	sort.Float64s(overs)
+	sort.Float64s(unders)
+	return overs[f], unders[len(unders)-1-f]
+}
+
+// normalDelta is Figure 1's clamped midpoint: the adjustment when both
+// extremes are within WayOff of the local clock.
+func normalDelta(m, M float64) float64 {
+	return (math.Min(m, 0) + math.Max(M, 0)) / 2
+}
+
+// jumpDelta is the recovery branch: the own clock is ignored and the clock
+// jumps to the midpoint of the extremes.
+func jumpDelta(m, M float64) float64 {
+	return (m + M) / 2
+}
+
+// specSkip reports whether the spec requires this round to apply no
+// adjustment: fewer than 2f+1 readings, or a trimmed extreme still
+// infinite (fewer than f+1 live readings).
+func specSkip(f int, ests []estimate, m, M float64) bool {
+	return len(ests) < 2*f+1 || math.IsInf(m, 0) || math.IsInf(M, 0)
+}

@@ -85,6 +85,13 @@ type ChaosConfig struct {
 	// stream (the checker is attached internally either way).
 	Observer *obs.Observer
 
+	// SpanSink, when non-nil, receives every node's causal spans (rounds,
+	// estimates, readings) and also gets the plain event stream if it
+	// implements obs.Sink — enough for internal/conformance to refine the
+	// run against the abstract spec without a JSONL round-trip. Attaching it
+	// enables span emission cluster-wide.
+	SpanSink obs.SpanSink
+
 	Logf func(format string, args ...any)
 }
 
@@ -176,6 +183,12 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosResult, error) {
 	observer := obs.NewObserver()
 	if cfg.Observer != nil {
 		observer.AddSink(obs.SinkFunc(cfg.Observer.Emit))
+	}
+	if cfg.SpanSink != nil {
+		observer.AddSpanSink(cfg.SpanSink)
+		if sink, ok := cfg.SpanSink.(obs.Sink); ok {
+			observer.AddSink(sink)
+		}
 	}
 
 	faultRec := obs.NewRecorder()

@@ -1,0 +1,106 @@
+package livenet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitCluster is a small running cluster for the WaitConverged contract
+// tests; the long SyncInt keeps sync counts low so unreachable minSyncs
+// thresholds stay unreachable for the whole test.
+func waitCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		N:       4,
+		F:       1,
+		SyncInt: 100 * time.Millisecond,
+		MaxWait: 50 * time.Millisecond,
+		WayOff:  time.Second,
+		Offsets: []time.Duration{-20 * time.Millisecond, 0, 10 * time.Millisecond, 30 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(func() {
+		if err := c.Stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	})
+	return c
+}
+
+// TestWaitConvergedDeadlinePrompt: an unreachable goal must return promptly
+// when the deadline timer fires — within one polling tick of the timeout,
+// not after an extra poll cycle or a spin — and the error must report the
+// spread it gave up at.
+func TestWaitConvergedDeadlinePrompt(t *testing.T) {
+	c := waitCluster(t)
+	timeout := 300 * time.Millisecond
+	start := time.Now()
+	err := c.WaitConverged(time.Nanosecond, 1<<30, timeout) // spread goal and sync goal both unreachable
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("unreachable goal reported convergence")
+	}
+	if !strings.Contains(err.Error(), "not converged") || !strings.Contains(err.Error(), "spread") {
+		t.Errorf("deadline error missing diagnosis: %v", err)
+	}
+	if elapsed < timeout {
+		t.Errorf("returned %v before the %v deadline", elapsed, timeout)
+	}
+	// One 50 ms polling tick plus generous scheduler slack.
+	if elapsed > timeout+500*time.Millisecond {
+		t.Errorf("deadline overshot: %v for a %v timeout", elapsed, timeout)
+	}
+}
+
+// TestWaitConvergedReturnsMidWait: a goal the cluster reaches while the wait
+// is parked must be noticed by the polling ticker well before the (long)
+// deadline expires.
+func TestWaitConvergedReturnsMidWait(t *testing.T) {
+	c := waitCluster(t)
+	start := time.Now()
+	if err := c.WaitConverged(15*time.Millisecond, 2, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Errorf("convergence noticed only after %v of a 30s deadline", elapsed)
+	}
+	for i, n := range c.Nodes() {
+		if n.Syncs() < 2 {
+			t.Errorf("node %d returned converged with %d < 2 syncs", i, n.Syncs())
+		}
+	}
+}
+
+// TestWaitConvergedImmediate: a goal that already holds (zero syncs needed,
+// huge tolerance) returns on the first check without waiting for a tick.
+func TestWaitConvergedImmediate(t *testing.T) {
+	c := waitCluster(t)
+	start := time.Now()
+	if err := c.WaitConverged(time.Hour, 0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("already-satisfied wait took %v", elapsed)
+	}
+}
+
+// TestWaitConvergedConcurrent: several goroutines waiting on the same
+// cluster — the promotion path metrics_test and user code follow — must all
+// return without racing on the nodes (the -race build of this test is the
+// real assertion).
+func TestWaitConvergedConcurrent(t *testing.T) {
+	c := waitCluster(t)
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() { errs <- c.WaitConverged(20*time.Millisecond, 1, 20*time.Second) }()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("waiter %d: %v", i, err)
+		}
+	}
+}

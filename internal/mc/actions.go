@@ -1,0 +1,340 @@
+package mc
+
+import "fmt"
+
+// ActionKind enumerates the spec's action vocabulary — deliberately the
+// same names the ClockSync TLA+ modules and docs/CONFORMANCE.md use, and
+// the vocabulary internal/conformance maps recorded traces onto.
+type ActionKind uint8
+
+const (
+	ActSend    ActionKind = iota // SendEstimate: open a round, query all peers
+	ActReceive                   // ReceiveReply: one peer estimate arrives
+	ActTimeout                   // Timeout: one peer estimate is given up on
+	ActCompute                   // ComputeAdjust: fault-tolerant midpoint over resolved estimates
+	ActSkip                      // SkipRound: too few live estimates, no adjustment
+	ActApply                     // ApplyAdjust: the computed adjustment lands on the clock
+	ActCrash                     // Crash: adversary corrupts a node, scrambling its clock
+	ActRecover                   // Recover: corruption released, honest logic resumes
+)
+
+// Action is one transition label. Node is the acting node; Peer and Val
+// carry the kind-specific payload (estimate source and value, lie value,
+// scramble value, adjustment).
+type Action struct {
+	Kind ActionKind
+	Node int8
+	Peer int8
+	Val  int16
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActSend:
+		return fmt.Sprintf("SendEstimate(p%d)", a.Node)
+	case ActReceive:
+		return fmt.Sprintf("ReceiveReply(p%d<-p%d, est=%+d)", a.Node, a.Peer, a.Val)
+	case ActTimeout:
+		return fmt.Sprintf("Timeout(p%d<-p%d, lost)", a.Node, a.Peer)
+	case ActCompute:
+		return fmt.Sprintf("ComputeAdjust(p%d, delta=%+d)", a.Node, a.Val)
+	case ActSkip:
+		return fmt.Sprintf("SkipRound(p%d)", a.Node)
+	case ActApply:
+		return fmt.Sprintf("ApplyAdjust(p%d, delta=%+d)", a.Node, a.Val)
+	case ActCrash:
+		return fmt.Sprintf("Crash(p%d, clock:=%+d)", a.Node, a.Val)
+	case ActRecover:
+		return fmt.Sprintf("Recover(p%d)", a.Node)
+	}
+	return fmt.Sprintf("Action(kind=%d)", a.Kind)
+}
+
+// succ is one enumerated transition: the action label, the successor
+// state, and a non-empty invariant name if the transition itself is a
+// violation (transition-scoped invariants: quorum, bounded adjustment,
+// way-off jump by an in-sync node).
+type succ struct {
+	act    Action
+	state  State
+	viol   string
+	detail string
+}
+
+// successors enumerates every enabled transition of s in a deterministic
+// order (node-major, then kind, then value), canonicalizing each
+// successor. The explorer layers the state-scoped invariants on top.
+//
+// Partial-order reduction: when some node's round is fully resolved, its
+// ComputeAdjust/SkipRound is the only transition enumerated. The compute
+// reads and clears only that node's private round data and commutes with
+// every other enabled action (Wait and Ready both count as open rounds,
+// and leaving Wait only shrinks the set of blocked appliers), so
+// prioritizing it preserves all reachable post-compute states.
+func successors(s State, p Params, r Rules, canon func(State) State, emit func(succ)) {
+	n := p.N
+	push := func(a Action, ns State, viol, detail string) {
+		emit(succ{act: a, state: canon(ns), viol: viol, detail: detail})
+	}
+
+	for i := 0; i < n; i++ {
+		if s.good(i) && s.Phase[i] == phaseWait && s.Got[i] == peersMask(n, i) {
+			computeAdjust(s, p, r, i, push)
+			return
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		fi := !s.good(i)
+
+		// Crash(i): corrupt a good node, scramble its clock. Budget-gated.
+		if !fi && s.Budget > 0 {
+			for _, v := range p.Scrambles {
+				ns := s
+				ns.Faulty |= bit(i)
+				ns.Insync &^= bit(i)
+				ns.Clock[i] = clampI8(v)
+				ns.Phase[i] = phaseIdle
+				ns.Pend[i] = 0
+				ns.Got[i], ns.Fail[i], ns.Moved[i] = 0, 0, 0
+				ns.Est[i] = [maxN]int8{}
+				ns.Jump &^= bit(i)
+				ns.Anchor &^= bit(i)
+				ns.Budget--
+				push(Action{Kind: ActCrash, Node: int8(i), Val: int16(v)}, ns, "", "")
+			}
+		}
+
+		// Recover(i): corruption released; clock stays scrambled, the
+		// node is honest again but not yet in sync (the ghost bit is
+		// re-earned by an anchored round landing inside the envelope).
+		if fi {
+			ns := s
+			ns.Faulty &^= bit(i)
+			ns.Phase[i] = phaseIdle
+			ns.Pend[i] = 0
+			ns.Got[i], ns.Fail[i], ns.Moved[i] = 0, 0, 0
+			ns.Est[i] = [maxN]int8{}
+			push(Action{Kind: ActRecover, Node: int8(i)}, ns, "", "")
+			continue // corrupted nodes run no protocol logic of their own
+		}
+
+		switch s.Phase[i] {
+		case phaseIdle:
+			// SendEstimate(i): open a round if the interleaving budget allows.
+			if s.openRounds(n) < p.MaxOpen {
+				ns := s
+				ns.Phase[i] = phaseWait
+				ns.Got[i], ns.Fail[i], ns.Moved[i] = 0, 0, 0
+				ns.Est[i] = [maxN]int8{}
+				push(Action{Kind: ActSend, Node: int8(i)}, ns, "", "")
+			}
+
+		case phaseWait:
+			for j := 0; j < n; j++ {
+				if j == i || s.Got[i]&bit(j) != 0 {
+					continue
+				}
+				if s.good(j) {
+					// ReceiveReply(i, j): honest estimate sampled at
+					// delivery time, with error from Errs.
+					for _, e := range p.Errs {
+						d := int(s.Clock[j]) - int(s.Clock[i]) + e
+						ns := s
+						ns.Got[i] |= bit(j)
+						ns.Est[i][j] = clampI8(d)
+						push(Action{Kind: ActReceive, Node: int8(i), Peer: int8(j), Val: int16(clampI8(d))}, ns, "", "")
+					}
+				} else {
+					// ReceiveReply(i, j) from a corrupted peer: any lie.
+					for _, v := range p.Lies {
+						ns := s
+						ns.Got[i] |= bit(j)
+						ns.Est[i][j] = clampI8(v)
+						push(Action{Kind: ActReceive, Node: int8(i), Peer: int8(j), Val: int16(clampI8(v))}, ns, "", "")
+					}
+				}
+				// Timeout(i, j): the reply is lost (message loss or a
+				// silent crashed peer — unconditional over-approximation).
+				ns := s
+				ns.Got[i] |= bit(j)
+				ns.Fail[i] |= bit(j)
+				push(Action{Kind: ActTimeout, Node: int8(i), Peer: int8(j)}, ns, "", "")
+			}
+
+		case phaseReady:
+			// ApplyAdjust(i): enabled unless some open round already saw
+			// i move (SyncInt ≥ 2·MaxWait abstraction).
+			blocked := false
+			for w := 0; w < n; w++ {
+				if w != i && s.Phase[w] == phaseWait && s.Moved[w]&bit(i) != 0 {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				applyAdjust(s, p, i, push)
+			}
+		}
+	}
+}
+
+// computeAdjust runs the integer Figure 1 mirror for node i and emits the
+// ComputeAdjust or SkipRound transition, with the quorum invariant checked
+// at the moment an adjustment is produced.
+func computeAdjust(s State, p Params, r Rules, i int, push func(Action, State, string, string)) {
+	n := p.N
+	var overs, unders [maxN]int
+	live := 1 // self reading is always live
+	overs[0], unders[0] = 0, 0
+	k := 1
+	liveInsync := 1
+	if !s.insync(i) {
+		liveInsync = 0
+	}
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		if s.Fail[i]&bit(j) != 0 {
+			if r.ZeroFill {
+				overs[k], unders[k] = p.Bound, -p.Bound
+			} else {
+				overs[k], unders[k] = inf, -inf
+			}
+		} else {
+			d := int(s.Est[i][j])
+			overs[k], unders[k] = d+p.Bound, d-p.Bound
+			live++
+			if s.good(j) && s.insync(j) {
+				liveInsync++
+			}
+		}
+		k++
+	}
+
+	delta, jumped, ok, m, M := converge(p.F, p.WayOff, overs[:n], unders[:n], r)
+
+	// The round's samples are dead once the verdict is in; clearing them
+	// merges all states that differ only in consumed round data.
+	clearRound := func(ns *State) {
+		ns.Got[i], ns.Fail[i], ns.Moved[i] = 0, 0, 0
+		ns.Est[i] = [maxN]int8{}
+	}
+
+	if !ok {
+		ns := s
+		ns.Phase[i] = phaseIdle
+		ns.Pend[i] = 0
+		clearRound(&ns)
+		push(Action{Kind: ActSkip, Node: int8(i)}, ns, "", "")
+		return
+	}
+
+	ns := s
+	ns.Phase[i] = phaseReady
+	clearRound(&ns)
+	ns.Pend[i] = clampI8(delta)
+	ns.Jump &^= bit(i)
+	if jumped {
+		ns.Jump |= bit(i)
+	}
+	// Anchored: at most F of the n readings came from sources outside the
+	// in-sync good set (corrupted, recovering, or timed out) — then the
+	// trimmed extremes are pinned inside the in-sync hull ± Bound.
+	ns.Anchor &^= bit(i)
+	if liveInsync >= n-p.F {
+		ns.Anchor |= bit(i)
+	}
+
+	viol, detail := "", ""
+	if live < p.F+1 || n < 2*p.F+1 {
+		viol = InvQuorum
+		detail = fmt.Sprintf("adjustment computed from %d live estimates (need >= f+1=%d of n=%d >= 2f+1)", live, p.F+1, n)
+	}
+	push(Action{Kind: ActCompute, Node: int8(i), Val: int16(delta)}, ns, viol, detail)
+	_ = m
+	_ = M
+}
+
+// applyAdjust lands i's pending adjustment, updates the ghost in-sync bit,
+// marks i moved in every open round, and checks the transition-scoped
+// bounded-adjustment and no-jump invariants for in-sync nodes.
+func applyAdjust(s State, p Params, i int, push func(Action, State, string, string)) {
+	n := p.N
+	delta := int(s.Pend[i])
+	wasInsync := s.insync(i)
+	jumped := s.Jump&bit(i) != 0
+	anchored := s.Anchor&bit(i) != 0
+
+	ns := s
+	ns.Clock[i] = clampI8(int(s.Clock[i]) + delta)
+	ns.Phase[i] = phaseIdle
+	ns.Pend[i] = 0
+	ns.Jump &^= bit(i)
+	ns.Anchor &^= bit(i)
+	for w := 0; w < n; w++ {
+		if w != i && ns.Phase[w] == phaseWait {
+			ns.Moved[w] |= bit(i)
+		}
+	}
+
+	// Ghost rejoin rule: an anchored round that lands the node inside the
+	// envelope of every in-sync good node restores the agreement
+	// obligation (the model analogue of the recovered-node rejoin).
+	if !wasInsync && anchored {
+		within := true
+		for j := 0; j < n; j++ {
+			if j == i || !ns.good(j) || !ns.insync(j) {
+				continue
+			}
+			if d := int(ns.Clock[i]) - int(ns.Clock[j]); d > p.Envelope || d < -p.Envelope {
+				within = false
+				break
+			}
+		}
+		if within {
+			ns.Insync |= bit(i)
+		}
+	}
+
+	viol, detail := "", ""
+	switch {
+	case wasInsync && jumped:
+		viol = InvNoJump
+		detail = fmt.Sprintf("an in-sync node took the WayOff branch (delta=%+d)", delta)
+	case wasInsync && (delta > p.MaxStep || delta < -p.MaxStep):
+		viol = InvStep
+		detail = fmt.Sprintf("an in-sync node adjusted by %+d, exceeding the Δ/2+ε bound %d", delta, p.MaxStep)
+	}
+	push(Action{Kind: ActApply, Node: int8(i), Val: int16(delta)}, ns, viol, detail)
+}
+
+// applyAction re-runs the transition relation from s with no
+// canonicalization and returns the raw successor labeled by a. Used only
+// for counterexample reconstruction.
+func applyAction(s State, a Action, p Params, r Rules) (State, bool) {
+	var out State
+	found := false
+	identity := func(ns State) State { return ns }
+	successors(s, p, r, identity, func(sc succ) {
+		if !found && sc.act == a {
+			out = sc.state
+			found = true
+		}
+	})
+	return out, found
+}
+
+// relabelAction rewrites an action's node indices through sigma.
+func relabelAction(a Action, sigma []int) Action {
+	if int(a.Node) < len(sigma) {
+		a.Node = int8(sigma[a.Node])
+	}
+	if a.Kind == ActReceive || a.Kind == ActTimeout {
+		if int(a.Peer) < len(sigma) {
+			a.Peer = int8(sigma[a.Peer])
+		}
+	}
+	return a
+}

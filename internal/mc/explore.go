@@ -1,0 +1,314 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Invariant names, shared with docs/CONFORMANCE.md and the conformance
+// bridge's violation vocabulary.
+const (
+	InvAgreement = "agreement" // in-sync good clocks within Envelope of each other
+	InvStep      = "step"      // an in-sync adjustment bounded by Δ/2+ε
+	InvNoJump    = "jump"      // an in-sync node never takes the WayOff branch
+	InvQuorum    = "quorum"    // adjustments need ≥ f+1 live estimates of n ≥ 2f+1
+	InvBlowup    = "blowup"    // canonical good clocks stay within MaxClock
+)
+
+// Step is one entry of a counterexample trace.
+type Step struct {
+	Action Action
+	State  State
+}
+
+// Violation is a falsified invariant plus the action sequence reaching it
+// from an initial state. BFS order makes the trace minimal in length over
+// the explored interleavings.
+type Violation struct {
+	Invariant string
+	Detail    string
+	N         int // cluster size, for rendering
+	Initial   State
+	Trace     []Step
+}
+
+// Result summarizes one exhaustive exploration.
+type Result struct {
+	Params      Params
+	Rules       Rules
+	States      int  // distinct canonical states visited
+	Transitions int  // transitions enumerated
+	Depth       int  // deepest BFS level reached
+	Complete    bool // frontier exhausted within MaxDepth/MaxStates
+	Violation   *Violation
+}
+
+// stateInvariant checks the state-scoped invariants and returns the first
+// falsified one ("" if none).
+func stateInvariant(s *State, p *Params) (string, string) {
+	n := p.N
+	for i := 0; i < n; i++ {
+		if !s.good(i) {
+			continue
+		}
+		if s.insync(i) {
+			for j := i + 1; j < n; j++ {
+				if !s.good(j) || !s.insync(j) {
+					continue
+				}
+				if d := int(s.Clock[i]) - int(s.Clock[j]); d > p.Envelope || d < -p.Envelope {
+					return InvAgreement, fmt.Sprintf("in-sync clocks p%d=%d and p%d=%d differ by %d > Δ=%d",
+						i, s.Clock[i], j, s.Clock[j], abs(d), p.Envelope)
+				}
+			}
+		}
+		if c := int(s.Clock[i]); c > p.MaxClock || c < -p.MaxClock {
+			return InvBlowup, fmt.Sprintf("good clock p%d=%d beyond MaxClock=%d", i, c, p.MaxClock)
+		}
+	}
+	return "", ""
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// node is one entry of the BFS bookkeeping: enough to reconstruct the
+// action path to any visited state.
+type bfsNode struct {
+	parent int32
+	act    Action
+}
+
+// Explore runs a breadth-first exhaustive search of the reachable state
+// space under p and r, stopping at the first invariant violation (the
+// returned trace is then minimal over BFS order) or at closure.
+func Explore(p Params, r Rules) (*Result, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Params: p, Rules: r, Complete: true}
+	canon := canonFunc(p)
+	visited := make(map[State]int32, 1<<16)
+	var states []State
+	var nodes []bfsNode
+
+	add := func(s State, parent int32, act Action) (int32, bool) {
+		if idx, ok := visited[s]; ok {
+			return idx, false
+		}
+		idx := int32(len(states))
+		visited[s] = idx
+		states = append(states, s)
+		nodes = append(nodes, bfsNode{parent: parent, act: act})
+		return idx, true
+	}
+
+	// buildTrace reconstructs the action path to the violating transition
+	// in a single consistent node labeling. Symmetry reduction stores each
+	// canonical (relabeled) state, so the path is replayed from the root,
+	// composing the per-step relabelings back into the root's frame.
+	buildTrace := func(cur int32, act Action, child State) (State, []Step) {
+		chain := []int32{cur}
+		for nodes[cur].parent >= 0 {
+			cur = nodes[cur].parent
+			chain = append(chain, cur)
+		}
+		for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+			chain[l], chain[r] = chain[r], chain[l]
+		}
+
+		perms := permutations(p.N)
+		sigma := make([]int, p.N) // current canonical frame → root frame
+		for i := range sigma {
+			sigma[i] = i
+		}
+		root := states[chain[0]]
+		var steps []Step
+		for t := 1; t <= len(chain); t++ {
+			a, canonChild := act, child
+			if t < len(chain) {
+				a, canonChild = nodes[chain[t]].act, states[chain[t]]
+			}
+			parent := states[chain[t-1]]
+			raw, found := applyAction(parent, a, p, r)
+			if !found {
+				// Replay mismatch should be impossible; degrade to the
+				// canonical-frame step rather than panicking.
+				steps = append(steps, Step{Action: a, State: canonChild})
+				continue
+			}
+			steps = append(steps, Step{
+				Action: relabelAction(a, sigma),
+				State:  permute(&raw, p.N, sigma),
+			})
+			shifted := raw
+			shifted.canonicalize(p.N)
+			for _, pi := range perms {
+				if permute(&shifted, p.N, pi) == canonChild {
+					next := make([]int, p.N)
+					for v := 0; v < p.N; v++ {
+						next[pi[v]] = sigma[v] // σ'[π[v]] = σ[v]
+					}
+					sigma = next
+					break
+				}
+			}
+		}
+		return root, steps
+	}
+
+	// Initial states: every clock assignment in [0, InitSpread]^N, all
+	// nodes idle, honest, and in sync, full corruption budget.
+	var enumInit func(i int, s State)
+	enumInit = func(i int, s State) {
+		if i == p.N {
+			s.Insync = uint8((1 << uint(p.N)) - 1)
+			s.Budget = uint8(p.MaxCrash)
+			add(canon(s), -1, Action{})
+			return
+		}
+		for c := 0; c <= p.InitSpread; c++ {
+			s.Clock[i] = int8(c)
+			enumInit(i+1, s)
+		}
+	}
+	enumInit(0, State{})
+
+	for _, s := range states {
+		if inv, detail := stateInvariant(&s, &p); inv != "" {
+			res.Violation = &Violation{Invariant: inv, Detail: detail, N: p.N, Initial: s}
+			res.States = len(states)
+			return res, nil
+		}
+	}
+
+	head := 0
+	levelEnd := len(states)
+	depth := 0
+	for head < len(states) {
+		if head == levelEnd {
+			depth++
+			levelEnd = len(states)
+			if p.MaxDepth > 0 && depth >= p.MaxDepth {
+				res.Complete = false
+				break
+			}
+		}
+		cur := int32(head)
+		s := states[head]
+		head++
+
+		var found *Violation
+		successors(s, p, r, canon, func(sc succ) {
+			if found != nil {
+				return
+			}
+			res.Transitions++
+			violation := sc.viol
+			detail := sc.detail
+			if violation == "" {
+				if _, fresh := add(sc.state, cur, sc.act); !fresh {
+					return
+				}
+				violation, detail = stateInvariant(&sc.state, &p)
+				if violation == "" {
+					return
+				}
+			}
+			root, steps := buildTrace(cur, sc.act, sc.state)
+			// State-scoped details were produced in the canonical child's
+			// frame; regenerate them in the trace's consistent frame.
+			if len(steps) > 0 {
+				if inv, d := stateInvariant(&steps[len(steps)-1].State, &p); inv == violation {
+					detail = d
+				}
+			}
+			found = &Violation{
+				Invariant: violation,
+				Detail:    detail,
+				N:         p.N,
+				Initial:   root,
+				Trace:     steps,
+			}
+		})
+		if found != nil {
+			res.Violation = found
+			break
+		}
+		if len(states) > p.MaxStates {
+			res.Complete = false
+			break
+		}
+	}
+	res.States = len(states)
+	res.Depth = depth
+	return res, nil
+}
+
+// render prints a compact one-line state summary for counterexamples.
+func (s State) render(n int) string {
+	var b strings.Builder
+	b.WriteString("clocks[")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%+d", s.Clock[i])
+	}
+	b.WriteString("]")
+	phases := []byte("IWR")
+	b.WriteString(" phase[")
+	for i := 0; i < n; i++ {
+		b.WriteByte(phases[s.Phase[i]])
+	}
+	b.WriteString("]")
+	mask := uint8((1 << uint(n)) - 1)
+	if s.Faulty&mask != 0 {
+		fmt.Fprintf(&b, " faulty=%0*b", n, s.Faulty&mask)
+	}
+	fmt.Fprintf(&b, " insync=%0*b", n, s.Insync&mask)
+	return b.String()
+}
+
+// String renders the counterexample as a numbered action sequence — the
+// format docs/CONFORMANCE.md documents and the tests pin.
+func (v *Violation) String() string {
+	if v == nil {
+		return "<no violation>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant %q violated", v.Invariant)
+	if v.Detail != "" {
+		fmt.Fprintf(&b, ": %s", v.Detail)
+	}
+	b.WriteByte('\n')
+	n := v.N
+	if n < 1 || n > maxN {
+		n = maxN
+	}
+	fmt.Fprintf(&b, "  init: %s\n", v.Initial.render(n))
+	for i, st := range v.Trace {
+		fmt.Fprintf(&b, "  %2d. %-36s %s\n", i+1, st.Action.String(), st.State.render(n))
+	}
+	return b.String()
+}
+
+// Summary renders a one-line result description for logs and CLI output.
+func (r *Result) Summary() string {
+	status := "complete"
+	if !r.Complete {
+		status = "bounded"
+	}
+	viol := "no violations"
+	if r.Violation != nil {
+		viol = fmt.Sprintf("VIOLATION(%s)", r.Violation.Invariant)
+	}
+	return fmt.Sprintf("mc n=%d f=%d: %d states, %d transitions, depth %d (%s), %s",
+		r.Params.N, r.Params.F, r.States, r.Transitions, r.Depth, status, viol)
+}

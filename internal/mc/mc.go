@@ -1,0 +1,291 @@
+// Package mc is an explicit-state bounded model checker for an abstracted
+// Sync-round state machine, mirroring the action vocabulary of the
+// incremental TLA+ ClockSync modules (SNIPPETS.md): SendEstimate,
+// ReceiveReply, Timeout, ComputeAdjust (the fault-tolerant midpoint of
+// Figure 1), ApplyAdjust, plus Crash/Recover. It exhaustively enumerates
+// every interleaving of a small cluster (n ≤ 5, f ≤ 1) over discretized
+// clocks and bounded sampling error, checks safety invariants on every
+// reachable state, and prints counterexamples as action sequences.
+//
+// The abstraction, relative to internal/core:
+//
+//   - Clocks are small integers; drift is absorbed into the sampling-error
+//     set Errs (the paper's ε), exactly as the analysis folds ρ·MaxWait
+//     into the reading error.
+//   - Message delays in [δ⁻, δ⁺] surface only through their observable
+//     effect: an estimate of peer j is Clock[j]−Clock[i]+e with
+//     e ∈ Errs = ±(δ⁺−δ⁻)/2, sampled at delivery time (so concurrent
+//     adjustments make estimates stale, as in the real protocol).
+//   - Timeouts are unconditional (any message may be lost) — a sound
+//     over-approximation that subsumes crashed peers staying silent.
+//   - SyncInt ≥ 2·MaxWait is abstracted as "while a node's round is open,
+//     each peer applies at most one adjustment" (the Moved bitmask).
+//   - A corrupted node answers estimate queries with arbitrary values from
+//     Lies and its clock is scrambled; Recover restores honest behaviour
+//     with the scrambled clock, and the node re-earns its agreement
+//     obligation (the Insync ghost bit) only once an anchored round lands
+//     it back inside the envelope — the model analogue of the paper's
+//     recovered-node rejoin time.
+//
+// Invariants (see invariants.go): agreement envelope over in-sync good
+// nodes, bounded adjustment Δ/2+ε for in-sync nodes, no WayOff jump by an
+// in-sync node, quorum safety (an adjustment needs ≥ f+1 live estimates
+// out of n ≥ 2f+1), and a clock-blowup guard.
+package mc
+
+import "fmt"
+
+// maxN is the largest supported cluster size. State uses fixed-size arrays
+// so that it is a comparable value usable directly as a map key.
+const maxN = 5
+
+// inf is the sentinel for an infinite over/under reading (timed-out
+// estimate) inside the integer convergence mirror.
+const inf = 1 << 20
+
+// Params fixes the finite domains the checker enumerates. The zero value
+// is not valid; call Default() or fill every field. All quantities are in
+// the same dimensionless clock unit.
+type Params struct {
+	N int // cluster size, 2 ≤ N ≤ 5
+	F int // fault bound the protocol is configured with, 0 ≤ F ≤ 1
+
+	InitSpread int // initial good clocks enumerate [0, InitSpread]^N
+	Err        int // sampling error bound ε: honest estimates draw e from Errs
+	Bound      int // a: half-width attached to every estimate (over=d+a, under=d−a), ≥ Err
+	WayOff     int // W: |extreme| beyond which the own clock is ignored (jump branch)
+	Envelope   int // Δ: agreement bound checked between in-sync good nodes
+	MaxStep    int // bounded-adjustment limit for in-sync nodes (Δ/2+ε; 0 ⇒ Envelope/2+Bound+Err)
+	MaxClock   int // canonical |clock| cap for good nodes (blowup guard)
+
+	Errs      []int // sampling errors enumerated for honest replies (default {−Err,+Err})
+	Lies      []int // estimate values a corrupted peer may answer with
+	Scrambles []int // clock values a crash may scramble to
+
+	MaxCrash int // total corruption budget (the f-per-window abstraction)
+	MaxOpen  int // max concurrently open rounds (bounds interleaving depth)
+
+	MaxDepth  int // BFS depth bound; 0 = run to closure
+	MaxStates int // state cap; exceeded ⇒ Result.Complete=false (0 ⇒ 4e6)
+}
+
+// Default returns the parameter set used by the exhaustive test suite: it
+// explores to closure in well under a second for n=3 and keeps n=4
+// tractable for plain `go test`.
+func Default(n, f int) Params {
+	return Params{
+		N:          n,
+		F:          f,
+		InitSpread: 2,
+		Err:        1,
+		Bound:      1,
+		WayOff:     10,
+		Envelope:   4,
+		MaxClock:   40,
+		Errs:       []int{-1, 1},
+		Lies:       []int{-16, 16},
+		Scrambles:  []int{-16, 16},
+		MaxCrash:   f,
+		MaxOpen:    2,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxStep == 0 {
+		p.MaxStep = p.Envelope/2 + p.Bound + p.Err
+	}
+	if p.MaxStates == 0 {
+		p.MaxStates = 4_000_000
+	}
+	if p.MaxOpen == 0 {
+		p.MaxOpen = 2
+	}
+	if len(p.Errs) == 0 {
+		p.Errs = []int{-p.Err, p.Err}
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.N < 2 || p.N > maxN:
+		return fmt.Errorf("mc: N=%d out of range [2,%d]", p.N, maxN)
+	case p.F < 0 || p.F > 1:
+		return fmt.Errorf("mc: F=%d out of range [0,1]", p.F)
+	case p.N < 2*p.F+1:
+		return fmt.Errorf("mc: N=%d below quorum 2F+1=%d", p.N, 2*p.F+1)
+	case p.Bound < p.Err:
+		return fmt.Errorf("mc: Bound=%d below Err=%d", p.Bound, p.Err)
+	case p.InitSpread > p.Envelope:
+		return fmt.Errorf("mc: InitSpread=%d exceeds Envelope=%d", p.InitSpread, p.Envelope)
+	case p.WayOff <= p.Envelope+p.Bound:
+		return fmt.Errorf("mc: WayOff=%d must exceed Envelope+Bound=%d", p.WayOff, p.Envelope+p.Bound)
+	case p.MaxClock < p.Envelope || p.MaxClock > 100:
+		return fmt.Errorf("mc: MaxClock=%d out of range [Envelope,100]", p.MaxClock)
+	}
+	for _, v := range append(append([]int{}, p.Lies...), p.Scrambles...) {
+		if v < -100 || v > 100 {
+			return fmt.Errorf("mc: lie/scramble value %d out of range [-100,100]", v)
+		}
+	}
+	return nil
+}
+
+// Rules selects deliberate protocol mutations. The zero value is the
+// faithful protocol; each flag re-introduces a specific bug class so the
+// suite can prove the invariants are load-bearing.
+type Rules struct {
+	// DropClamp makes the normal branch use the untrimmed midpoint
+	// (m+M)/2 instead of (min(m,0)+max(M,0))/2 — dropping the clamp that
+	// bounds a single adjustment by Δ/2+ε.
+	DropClamp bool
+	// NoTrim computes the extremes with f=0: the minimum over and maximum
+	// under are used directly, so a single corrupted reading steers the
+	// adjustment.
+	NoTrim bool
+	// ZeroFill makes timed-out estimates contribute 0 instead of ±∞ —
+	// the classic quorum bug of treating silence as agreement.
+	ZeroFill bool
+}
+
+// Phases of a node's round state machine.
+const (
+	phaseIdle  = 0 // between rounds
+	phaseWait  = 1 // estimates outstanding (round open)
+	phaseReady = 2 // adjustment computed, not yet applied
+)
+
+// State is one canonicalized configuration of the abstract cluster. It is
+// a comparable value (fixed-size arrays only) and doubles as the visited-
+// set map key.
+type State struct {
+	Clock  [maxN]int8       // canonical clock values
+	Phase  [maxN]uint8      // phaseIdle/phaseWait/phaseReady
+	Est    [maxN][maxN]int8 // Est[i][j]: i's sampled offset of j (valid if Got bit)
+	Got    [maxN]uint8      // bitmask: estimate of peer j resolved (reply or timeout)
+	Fail   [maxN]uint8      // bitmask: estimate of peer j timed out
+	Moved  [maxN]uint8      // bitmask: peers that applied an adjust since i opened
+	Pend   [maxN]int8       // computed adjustment awaiting ApplyAdjust
+	Jump   uint8            // bitmask: pending adjustment took the WayOff branch
+	Anchor uint8            // bitmask: pending adjustment was anchored (≤ F non-in-sync sources)
+	Faulty uint8            // bitmask: currently corrupted
+	Insync uint8            // ghost: node owes the agreement obligation
+	Budget uint8            // remaining corruption budget
+}
+
+func bit(i int) uint8 { return 1 << uint(i) }
+
+func (s *State) good(i int) bool   { return s.Faulty&bit(i) == 0 }
+func (s *State) insync(i int) bool { return s.Insync&bit(i) != 0 }
+
+// openRounds counts nodes with an open or computed-but-unapplied round.
+func (s *State) openRounds(n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if s.Phase[i] != phaseIdle {
+			c++
+		}
+	}
+	return c
+}
+
+// peersMask is the bitmask of all peers of i in an n-node cluster.
+func peersMask(n, i int) uint8 {
+	return uint8((1<<uint(n))-1) &^ bit(i)
+}
+
+// clampI8 bounds v into int8 range with margin; reachable values stay far
+// inside this in any valid parameterization.
+func clampI8(v int) int8 {
+	if v > 120 {
+		return 120
+	}
+	if v < -120 {
+		return -120
+	}
+	return int8(v)
+}
+
+// canonicalize shifts all clocks so the minimum in-sync good clock (or the
+// minimum good clock when no node is in sync) is zero. Estimates are
+// relative offsets and unaffected. This quotients out the global time
+// translation symmetry, keeping the reachable set finite.
+func (s *State) canonicalize(n int) {
+	base, found := 0, false
+	for pass := 0; pass < 2 && !found; pass++ {
+		for i := 0; i < n; i++ {
+			if !s.good(i) {
+				continue
+			}
+			if pass == 0 && !s.insync(i) {
+				continue
+			}
+			if !found || int(s.Clock[i]) < base {
+				base = int(s.Clock[i])
+				found = true
+			}
+		}
+	}
+	if !found || base == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.Clock[i] = clampI8(int(s.Clock[i]) - base)
+	}
+}
+
+// converge mirrors core.ConvergeVerdict (the paper's Figure 1) over small
+// integers. overs and unders are the n readings including self (0,0);
+// entries are ±inf for timed-out estimates. It returns the adjustment, the
+// branch taken, whether an adjustment happens at all (ok=false ⇒ skip),
+// and the trimmed extremes for invariant checks.
+func converge(f, wayOff int, overs, unders []int, r Rules) (delta int, jumped, ok bool, m, M int) {
+	trim := f
+	if r.NoTrim {
+		trim = 0
+	}
+	m = kthSmallest(overs, trim) // (trim+1)-st smallest over
+	M = kthLargest(unders, trim) // (trim+1)-st largest under
+	if m >= inf || M <= -inf {
+		return 0, false, false, m, M
+	}
+	if m >= -wayOff && M <= wayOff {
+		if r.DropClamp {
+			delta = midpoint(m, M)
+		} else {
+			delta = midpoint(min(m, 0), max(M, 0))
+		}
+		return delta, false, true, m, M
+	}
+	return midpoint(m, M), true, true, m, M
+}
+
+// midpoint is the integer midpoint rounding toward zero, matching Go's
+// truncating division over the float formula (a+b)/2.
+func midpoint(a, b int) int { return (a + b) / 2 }
+
+// kthSmallest returns the (k+1)-st smallest element by insertion sort over
+// a scratch copy; inputs have at most maxN+? elements so O(n²) is free.
+func kthSmallest(vals []int, k int) int {
+	var buf [maxN]int
+	s := buf[:len(vals)]
+	copy(s, vals)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[k]
+}
+
+func kthLargest(vals []int, k int) int {
+	var buf [maxN]int
+	s := buf[:len(vals)]
+	copy(s, vals)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] > s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[k]
+}

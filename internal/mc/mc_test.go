@@ -1,0 +1,236 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+)
+
+// exploreClean runs an exploration that must reach closure with zero
+// violations, logging the state-space size.
+func exploreClean(t *testing.T, name string, p Params, r Rules) *Result {
+	t.Helper()
+	res, err := Explore(p, r)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	t.Logf("%s: %s", name, res.Summary())
+	if !res.Complete {
+		t.Fatalf("%s: exploration did not reach closure", name)
+	}
+	if res.Violation != nil {
+		t.Fatalf("%s: unexpected violation:\n%s", name, res.Violation.String())
+	}
+	return res
+}
+
+// exploreViolating runs an exploration that must find a violation of the
+// given invariant and returns it.
+func exploreViolating(t *testing.T, name string, p Params, r Rules, invariant string) *Violation {
+	t.Helper()
+	res, err := Explore(p, r)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	t.Logf("%s: %s", name, res.Summary())
+	if res.Violation == nil {
+		t.Fatalf("%s: expected a %q violation, exploration was clean", name, invariant)
+	}
+	if res.Violation.Invariant != invariant {
+		t.Fatalf("%s: expected invariant %q, got %q:\n%s",
+			name, invariant, res.Violation.Invariant, res.Violation.String())
+	}
+	t.Logf("counterexample:\n%s", res.Violation.String())
+	return res.Violation
+}
+
+// TestExhaustiveN3 explores the full default n=3, f=1 domain — sampling
+// error ±1, message loss, one crash/recover with clock scrambling and
+// arbitrary lies — to closure with zero invariant violations.
+func TestExhaustiveN3(t *testing.T) {
+	res := exploreClean(t, "n3", Default(3, 1), Rules{})
+	if res.States < 10_000 {
+		t.Fatalf("suspiciously small state space: %d states", res.States)
+	}
+}
+
+// TestExhaustiveN4 explores n=4, f=1 to closure twice: the honest domain
+// with ±1 sampling error, and the crash/recover + Byzantine-lie domain
+// with exact readings (the error dimension is fully explored at n=3; the
+// product of both at n=4 is out of plain-`go test` budget).
+func TestExhaustiveN4(t *testing.T) {
+	honest := Default(4, 1)
+	honest.MaxCrash = 0
+	honest.InitSpread = 1
+	exploreClean(t, "n4-honest", honest, Rules{})
+
+	crash := Default(4, 1)
+	crash.InitSpread = 1
+	crash.Errs = []int{0}
+	crash.Lies = []int{16}
+	crash.Scrambles = []int{16}
+	exploreClean(t, "n4-crash", crash, Rules{})
+}
+
+// dropClampParams is a domain where the midpoint clamp is load-bearing:
+// wide initial spread, exact readings. The faithful protocol stays within
+// Δ/2+ε; dropping the clamp adjusts by the full spread.
+func dropClampParams() Params {
+	return Params{
+		N: 3, F: 1,
+		InitSpread: 6, Err: 0, Bound: 1,
+		WayOff: 20, Envelope: 6, MaxClock: 40,
+		Errs: []int{0}, MaxCrash: 0,
+	}
+}
+
+// TestDropClampCounterexample: the seeded mutation of the acceptance
+// criteria — dropping the Figure 1 midpoint clamp must yield a printed
+// counterexample trace, on a domain the faithful protocol passes.
+func TestDropClampCounterexample(t *testing.T) {
+	exploreClean(t, "clamp-clean", dropClampParams(), Rules{})
+
+	v := exploreViolating(t, "clamp-dropped", dropClampParams(), Rules{DropClamp: true}, InvStep)
+	out := v.String()
+	for _, want := range []string{"SendEstimate", "ReceiveReply", "ComputeAdjust", "ApplyAdjust", InvStep} {
+		if !strings.Contains(out, want) {
+			t.Errorf("counterexample missing %q:\n%s", want, out)
+		}
+	}
+	if len(v.Trace) == 0 || v.Trace[len(v.Trace)-1].Action.Kind != ActApply {
+		t.Errorf("counterexample must end at the violating ApplyAdjust:\n%s", out)
+	}
+}
+
+// TestNoTrimCounterexample: disabling the f-trim breaks the quorum guard
+// (the skip decision rides on the trimmed extremes reaching the infinite
+// readings), exactly as core with F=0 adjusts on zero live estimates.
+func TestNoTrimCounterexample(t *testing.T) {
+	v := exploreViolating(t, "no-trim", Default(3, 1), Rules{NoTrim: true}, InvQuorum)
+	if !strings.Contains(v.String(), "ComputeAdjust") {
+		t.Errorf("counterexample should end in ComputeAdjust:\n%s", v.String())
+	}
+}
+
+// TestZeroFillCounterexample: treating timeouts as zero estimates lets a
+// node adjust with no live quorum.
+func TestZeroFillCounterexample(t *testing.T) {
+	p := Default(3, 1)
+	p.MaxCrash = 0
+	v := exploreViolating(t, "zero-fill", p, Rules{ZeroFill: true}, InvQuorum)
+	if got := len(v.Trace); got > 6 {
+		t.Errorf("BFS should find a short quorum counterexample, got %d steps", got)
+	}
+}
+
+// TestOverBudgetCounterexample: two corruptions against a declared f=1
+// drag an in-sync node onto the WayOff branch — the model analogue of
+// exceeding the paper's f-faults-per-window budget (Definition 2).
+func TestOverBudgetCounterexample(t *testing.T) {
+	p := Default(3, 1)
+	p.MaxCrash = 2
+	v := exploreViolating(t, "over-budget", p, Rules{}, InvNoJump)
+	crashes := 0
+	for _, st := range v.Trace {
+		if st.Action.Kind == ActCrash {
+			crashes++
+		}
+	}
+	if crashes != 2 {
+		t.Errorf("over-budget counterexample should involve 2 crashes, got %d:\n%s", crashes, v.String())
+	}
+}
+
+// TestExploreDeterministic: identical params and rules must reproduce the
+// exact exploration — state counts and the counterexample rendering.
+func TestExploreDeterministic(t *testing.T) {
+	run := func(r Rules) string {
+		res, err := Explore(Default(3, 1), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Summary()
+		if res.Violation != nil {
+			s += "\n" + res.Violation.String()
+		}
+		return s
+	}
+	for _, r := range []Rules{{}, {NoTrim: true}} {
+		if a, b := run(r), run(r); a != b {
+			t.Errorf("exploration not deterministic under %+v:\n--- first\n%s\n--- second\n%s", r, a, b)
+		}
+	}
+}
+
+// TestParamsValidate pins the parameter guardrails.
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"n too large", func(p *Params) { p.N = 6 }},
+		{"n too small", func(p *Params) { p.N = 1 }},
+		{"f too large", func(p *Params) { p.F = 2 }},
+		{"below quorum", func(p *Params) { p.N = 2; p.F = 1 }},
+		{"bound below err", func(p *Params) { p.Bound = 0 }},
+		{"spread beyond envelope", func(p *Params) { p.InitSpread = 99 }},
+		{"wayoff inside envelope", func(p *Params) { p.WayOff = 2 }},
+		{"lie out of range", func(p *Params) { p.Lies = []int{500} }},
+	}
+	for _, tc := range cases {
+		p := Default(3, 1)
+		tc.mutate(&p)
+		if _, err := Explore(p, Rules{}); err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
+	}
+	if _, err := Explore(Params{}, Rules{}); err == nil {
+		t.Error("zero params must not validate")
+	}
+}
+
+// TestActionString pins the counterexample vocabulary that
+// docs/CONFORMANCE.md documents.
+func TestActionString(t *testing.T) {
+	cases := map[string]Action{
+		"SendEstimate(p0)":             {Kind: ActSend, Node: 0},
+		"ReceiveReply(p1<-p2, est=+3)": {Kind: ActReceive, Node: 1, Peer: 2, Val: 3},
+		"Timeout(p0<-p1, lost)":        {Kind: ActTimeout, Node: 0, Peer: 1},
+		"ComputeAdjust(p2, delta=-4)":  {Kind: ActCompute, Node: 2, Val: -4},
+		"SkipRound(p1)":                {Kind: ActSkip, Node: 1},
+		"ApplyAdjust(p0, delta=+2)":    {Kind: ActApply, Node: 0, Val: 2},
+		"Crash(p1, clock:=+16)":        {Kind: ActCrash, Node: 1, Val: 16},
+		"Recover(p1)":                  {Kind: ActRecover, Node: 1},
+	}
+	for want, a := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("Action.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestConvergeMirror cross-checks the integer Figure 1 mirror on hand
+// cases: trimming, clamping, WayOff branch, and the skip decision.
+func TestConvergeMirror(t *testing.T) {
+	cases := []struct {
+		name     string
+		f, w     int
+		overs    []int
+		unders   []int
+		delta    int
+		jump, ok bool
+	}{
+		{"all agree", 1, 10, []int{1, 1, 1}, []int{-1, -1, -1}, 0, false, true},
+		{"clamped midpoint", 1, 10, []int{7, 7, 0}, []int{5, 5, 0}, 2, false, true},
+		{"outlier trimmed", 1, 10, []int{-50, 1, 1}, []int{-52, -1, -1}, 0, false, true},
+		{"way off", 1, 10, []int{-20, -14, 0}, []int{-22, -16, -2}, -15, true, true},
+		{"skip on quorum loss", 1, 10, []int{0, inf, inf}, []int{0, -inf, -inf}, 0, false, false},
+		{"one live peer anchors", 1, 10, []int{0, 4, inf}, []int{0, 2, -inf}, 0, false, true},
+	}
+	for _, tc := range cases {
+		delta, jump, ok, _, _ := converge(tc.f, tc.w, tc.overs, tc.unders, Rules{})
+		if delta != tc.delta || jump != tc.jump || ok != tc.ok {
+			t.Errorf("%s: converge = (%d,%v,%v), want (%d,%v,%v)",
+				tc.name, delta, jump, ok, tc.delta, tc.jump, tc.ok)
+		}
+	}
+}

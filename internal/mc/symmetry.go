@@ -1,0 +1,134 @@
+package mc
+
+// Node-permutation symmetry reduction. The abstract cluster is fully
+// symmetric — no dynamics depend on node identity — so states that differ
+// only by a relabeling of nodes are bisimilar. The canonical
+// representative is the lexicographically minimal state (by stateLess)
+// over all n! relabelings, computed after the clock-shift quotient. For
+// n ≤ 5 that is at most 120 candidate encodings per state, and it divides
+// the reachable set by nearly n!.
+
+// permutations returns all permutations of [0..n) in a deterministic
+// order.
+func permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]int, n)
+			copy(cp, base)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// permuteBits relabels a node bitmask: bit i of mask becomes bit perm[i].
+func permuteBits(mask uint8, n int, perm []int) uint8 {
+	var out uint8
+	for i := 0; i < n; i++ {
+		if mask&bit(i) != 0 {
+			out |= bit(perm[i])
+		}
+	}
+	return out
+}
+
+// permute relabels node i to perm[i] across every field.
+func permute(s *State, n int, perm []int) State {
+	var ns State
+	for i := 0; i < n; i++ {
+		pi := perm[i]
+		ns.Clock[pi] = s.Clock[i]
+		ns.Phase[pi] = s.Phase[i]
+		ns.Pend[pi] = s.Pend[i]
+		ns.Got[pi] = permuteBits(s.Got[i], n, perm)
+		ns.Fail[pi] = permuteBits(s.Fail[i], n, perm)
+		ns.Moved[pi] = permuteBits(s.Moved[i], n, perm)
+		for j := 0; j < n; j++ {
+			ns.Est[pi][perm[j]] = s.Est[i][j]
+		}
+	}
+	ns.Jump = permuteBits(s.Jump, n, perm)
+	ns.Anchor = permuteBits(s.Anchor, n, perm)
+	ns.Faulty = permuteBits(s.Faulty, n, perm)
+	ns.Insync = permuteBits(s.Insync, n, perm)
+	ns.Budget = s.Budget
+	return ns
+}
+
+// stateLess is a total order over States (field-major, then node-major).
+func stateLess(a, b *State) bool {
+	for i := 0; i < maxN; i++ {
+		if a.Clock[i] != b.Clock[i] {
+			return a.Clock[i] < b.Clock[i]
+		}
+	}
+	for i := 0; i < maxN; i++ {
+		if a.Phase[i] != b.Phase[i] {
+			return a.Phase[i] < b.Phase[i]
+		}
+	}
+	for i := 0; i < maxN; i++ {
+		for j := 0; j < maxN; j++ {
+			if a.Est[i][j] != b.Est[i][j] {
+				return a.Est[i][j] < b.Est[i][j]
+			}
+		}
+	}
+	for i := 0; i < maxN; i++ {
+		if a.Got[i] != b.Got[i] {
+			return a.Got[i] < b.Got[i]
+		}
+		if a.Fail[i] != b.Fail[i] {
+			return a.Fail[i] < b.Fail[i]
+		}
+		if a.Moved[i] != b.Moved[i] {
+			return a.Moved[i] < b.Moved[i]
+		}
+		if a.Pend[i] != b.Pend[i] {
+			return a.Pend[i] < b.Pend[i]
+		}
+	}
+	if a.Jump != b.Jump {
+		return a.Jump < b.Jump
+	}
+	if a.Anchor != b.Anchor {
+		return a.Anchor < b.Anchor
+	}
+	if a.Faulty != b.Faulty {
+		return a.Faulty < b.Faulty
+	}
+	if a.Insync != b.Insync {
+		return a.Insync < b.Insync
+	}
+	return a.Budget < b.Budget
+}
+
+// canonFunc builds the full canonicalizer for p: clock-shift quotient,
+// then the minimal representative over all node relabelings.
+func canonFunc(p Params) func(State) State {
+	perms := permutations(p.N)
+	n := p.N
+	return func(s State) State {
+		s.canonicalize(n)
+		best := s
+		for _, perm := range perms[1:] { // perms[0] is identity
+			if cand := permute(&s, n, perm); stateLess(&cand, &best) {
+				best = cand
+			}
+		}
+		return best
+	}
+}

@@ -183,12 +183,24 @@ func Summarize(events []Event) Summary {
 	if hDev.Count() > 0 {
 		s.DevHist = &hDev
 	}
-	for id := 0; id <= maxNode; id++ {
-		if ns := perNode[id]; ns != nil {
-			s.PerNode = append(s.PerNode, *ns)
-		} else {
-			s.PerNode = append(s.PerNode, NodeSummary{Node: id})
+	// Dense per-node rows (quiet nodes included) for plausible cluster
+	// sizes; a corrupted trace claiming a huge node id must not make the
+	// summary materialize millions of rows, so beyond the cap only nodes
+	// that actually appeared are listed.
+	const denseNodeCap = 1 << 10
+	if maxNode < denseNodeCap {
+		for id := 0; id <= maxNode; id++ {
+			if ns := perNode[id]; ns != nil {
+				s.PerNode = append(s.PerNode, *ns)
+			} else {
+				s.PerNode = append(s.PerNode, NodeSummary{Node: id})
+			}
 		}
+	} else {
+		for _, ns := range perNode {
+			s.PerNode = append(s.PerNode, *ns)
+		}
+		sort.Slice(s.PerNode, func(i, j int) bool { return s.PerNode[i].Node < s.PerNode[j].Node })
 	}
 	return s
 }
