@@ -6,7 +6,8 @@
 // Usage:
 //
 //	benchobs                   # print JSON to stdout
-//	benchobs -o BENCH_obs.json # write the baseline file
+//	benchobs -update           # regenerate the committed baseline
+//	benchobs -o somewhere.json # write JSON to an arbitrary path
 package main
 
 import (
@@ -30,7 +31,11 @@ type result struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
+	update := flag.Bool("update", false, "regenerate the committed baseline BENCH_obs.json")
 	flag.Parse()
+	if *update {
+		*out = "BENCH_obs.json"
+	}
 
 	benches := []struct {
 		name string
@@ -40,6 +45,8 @@ func main() {
 		{"ObserverRing", obsbench.ObserverRing},
 		{"RoundSpan", obsbench.RoundSpan},
 		{"HistogramObserve", obsbench.HistogramObserve},
+		{"TraceContextDisabled", obsbench.TraceContextDisabled},
+		{"ReplySpan", obsbench.ReplySpan},
 	}
 	var results []result
 	for _, bm := range benches {

@@ -1,0 +1,291 @@
+// Command syncmon is the fleet aggregator of the telemetry plane: it scrapes
+// every node's /metrics, /statusz and /spanz surfaces, merges them into one
+// cluster view, joins cross-node estimate→reply spans on the shared timeline,
+// and renders per-node deviation sparklines, serve-path throughput and
+// latency quantiles, a dark-peer matrix and each node's envelope headroom.
+//
+// Usage:
+//
+//	syncmon -targets 0=host1:9090,1=host2:9090,2=host3:9090            # live view
+//	syncmon -targets 0=...,1=...,2=... -once                           # one report, exit
+//	syncmon -targets ... -once -jsonl fleet.jsonl                      # + merged span export
+//
+// The JSONL export is a merged trace stream with fleet-unique span ids — the
+// same shape syncsim -trace-out emits — so the offline tooling consumes it
+// directly, e.g. `tracestat -conform fleet.jsonl`. In -once mode a non-zero
+// exit reports causal-order violations (a responder's observation landing
+// outside the requester's uncertainty-widened send→receive window), making
+// the command usable as a fleet health check in CI.
+//
+// See docs/OBSERVABILITY.md, "Fleet telemetry".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"clocksync/internal/asciiplot"
+	"clocksync/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "syncmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		targets  = flag.String("targets", "", "comma-separated node ops endpoints, id=host:port (bare host:port numbers nodes in order); required")
+		once     = flag.Bool("once", false, "scrape once, print one report, exit non-zero on causal-order violations")
+		interval = flag.Duration("interval", 2*time.Second, "scrape interval for the live view")
+		jsonl    = flag.String("jsonl", "", "write the merged span export (trace JSONL, fleet-unique ids) here after every scrape")
+		slack    = flag.Duration("slack", 0, "extra causal-order tolerance beyond the nodes' uncertainty intervals (default 2ms)")
+		asym     = flag.Duration("asym", 0, "mean midpoint residual flagging a link as asymmetric (default 5ms)")
+		width    = flag.Int("width", 40, "sparkline width in columns")
+	)
+	flag.Parse()
+	if *targets == "" {
+		return fmt.Errorf("missing -targets")
+	}
+	tgts, err := parseTargets(*targets)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m := &monitor{
+		sc:      &telemetry.Scraper{Targets: tgts},
+		acfg:    telemetry.AlignConfig{Slack: *slack, AsymThreshold: *asym},
+		width:   *width,
+		jsonl:   *jsonl,
+		history: make(map[int][]float64),
+	}
+	if *once {
+		al, err := m.round(ctx, os.Stdout, false)
+		if err != nil {
+			return err
+		}
+		if al.Violations > 0 {
+			return fmt.Errorf("%d causal-order violations", al.Violations)
+		}
+		return nil
+	}
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if _, err := m.round(ctx, os.Stdout, true); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// parseTargets parses "0=host:port,1=host:port" (or bare "host:port" entries,
+// numbered in order) into scrape targets.
+func parseTargets(s string) ([]telemetry.Target, error) {
+	var out []telemetry.Target
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		node, addr := i, part
+		if id, rest, ok := strings.Cut(part, "="); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(id))
+			if err != nil {
+				return nil, fmt.Errorf("target %q: node id %q is not a number", part, id)
+			}
+			node, addr = n, strings.TrimSpace(rest)
+		}
+		if !strings.Contains(addr, ":") {
+			return nil, fmt.Errorf("target %q: want host:port", part)
+		}
+		out = append(out, telemetry.Target{Node: node, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no targets in %q", s)
+	}
+	return out, nil
+}
+
+// monitor holds the cross-round state of the live view: per-node deviation
+// history for the sparklines and the previous query total for the rate.
+type monitor struct {
+	sc    *telemetry.Scraper
+	acfg  telemetry.AlignConfig
+	width int
+	jsonl string
+
+	history     map[int][]float64 // node → recent deviations from the fleet median
+	prevQueries float64
+	prevAt      time.Time
+}
+
+// round performs one scrape → align → render → export cycle.
+func (m *monitor) round(ctx context.Context, w io.Writer, clear bool) (*telemetry.Alignment, error) {
+	snap := m.sc.Scrape(ctx)
+	al := telemetry.Align(snap, m.acfg)
+	m.render(w, snap, al, clear)
+	if m.jsonl != "" {
+		f, err := os.Create(m.jsonl)
+		if err != nil {
+			return nil, fmt.Errorf("creating span export: %w", err)
+		}
+		if err := telemetry.WriteJSONL(f, snap); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("writing span export: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return al, nil
+}
+
+// fleetMedian returns the median disciplined-clock correction across the
+// scraped nodes — the reference each node's deviation is measured against.
+func fleetMedian(ok []telemetry.NodeScrape) float64 {
+	offs := make([]float64, 0, len(ok))
+	for _, n := range ok {
+		offs = append(offs, n.Status.OffsetSec)
+	}
+	sort.Float64s(offs)
+	if len(offs) == 0 {
+		return 0
+	}
+	mid := len(offs) / 2
+	if len(offs)%2 == 1 {
+		return offs[mid]
+	}
+	return (offs[mid-1] + offs[mid]) / 2
+}
+
+func (m *monitor) render(w io.Writer, snap *telemetry.Snapshot, al *telemetry.Alignment, clear bool) {
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	ok := snap.Ok()
+	fmt.Fprintf(&b, "syncmon  %s  nodes %d/%d up  exchanges %d joined %d (%.0f%%)  violations %d\n\n",
+		snap.At.Format("15:04:05"), len(ok), len(snap.Nodes), al.Completed, len(al.Pairs), 100*al.JoinRate(), al.Violations)
+
+	// Per-node rows. Deviation is each node's correction relative to the
+	// fleet median — on one host this is disciplined-clock disagreement; on
+	// many hosts it folds in host-wall differences, which the uncertainty
+	// column bounds honestly either way. Headroom is how much of the node's
+	// own envelope its deviation has consumed.
+	med := fleetMedian(ok)
+	b.WriteString("node  epoch  syncs  deviation    unc       headroom  last round          trend\n")
+	for _, n := range snap.Nodes {
+		if n.Err != nil {
+			fmt.Fprintf(&b, "n%-4d DOWN: %v\n", n.Target.Node, n.Err)
+			continue
+		}
+		st := n.Status
+		dev := st.OffsetSec - med
+		m.history[st.ID] = append(m.history[st.ID], dev)
+		if len(m.history[st.ID]) > 4*m.width {
+			m.history[st.ID] = m.history[st.ID][len(m.history[st.ID])-4*m.width:]
+		}
+		headroom := "-"
+		if st.UncertaintySec > 0 {
+			headroom = fmt.Sprintf("%3.0f%%", 100*(1-math.Abs(dev)/st.UncertaintySec))
+		}
+		round := "(none)"
+		if lr := st.LastRound; lr != nil {
+			verdict := "ok"
+			if lr.Skipped {
+				verdict = "skip"
+			}
+			if lr.WayOff {
+				verdict = "WAYOFF"
+			}
+			round = fmt.Sprintf("%-6s Δ%+8.3gs f%d", verdict, lr.DeltaSec, lr.Failed)
+		}
+		fmt.Fprintf(&b, "n%-4d %-6d %-6d %+10.3gs %9.3gs %-9s %-19s %s\n",
+			st.ID, st.Epoch, st.Syncs, dev, st.UncertaintySec, headroom, round,
+			asciiplot.Spark(m.history[st.ID], m.width))
+	}
+
+	// Dark-peer matrix: row = observing node, column = peer as it sees it.
+	b.WriteString("\npeer matrix (rows observe columns: . ok  D dark  ? down/unknown):\n      ")
+	for _, n := range snap.Nodes {
+		fmt.Fprintf(&b, "n%-3d", n.Target.Node)
+	}
+	b.WriteByte('\n')
+	for _, n := range snap.Nodes {
+		fmt.Fprintf(&b, "  n%-3d", n.Target.Node)
+		dark := map[int]bool{}
+		known := map[int]bool{}
+		if n.Err == nil {
+			for _, p := range n.Status.Peers {
+				known[p.ID] = true
+				dark[p.ID] = p.Dark
+			}
+		}
+		for _, c := range snap.Nodes {
+			switch {
+			case c.Target.Node == n.Target.Node:
+				b.WriteString("  - ")
+			case n.Err != nil || !known[c.Target.Node]:
+				b.WriteString("  ? ")
+			case dark[c.Target.Node]:
+				b.WriteString("  D ")
+			default:
+				b.WriteString("  . ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	// Serve path, merged across the fleet.
+	merged := snap.Merged()
+	queries := merged.Value("clocksync_serve_queries_total")
+	now := time.Now()
+	qps := 0.0
+	if !m.prevAt.IsZero() {
+		if dt := now.Sub(m.prevAt).Seconds(); dt > 0 && queries >= m.prevQueries {
+			qps = (queries - m.prevQueries) / dt
+		}
+	}
+	m.prevQueries, m.prevAt = queries, now
+	fmt.Fprintf(&b, "\nserve path: %.0f queries  %.0f/s", queries, qps)
+	if h := merged.Hist("clocksync_serve_latency_seconds"); h != nil && h.Count() > 0 {
+		fmt.Fprintf(&b, "  reply p50 %.3gs p95 %.3gs p99 %.3gs (sampled)",
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
+	b.WriteByte('\n')
+
+	// Alignment findings.
+	for _, p := range al.Pairs {
+		if p.Violated {
+			fmt.Fprintf(&b, "VIOLATION %s span %d n%d->n%d: remote %+.3fms outside window (tol %.3fms)\n",
+				p.Kind, p.SpanID, p.Origin, p.Responder, p.Residual*1e3, p.Tol*1e3)
+		}
+	}
+	for _, lw := range al.Links {
+		fmt.Fprintf(&b, "WARN %s\n", lw.String())
+	}
+	for _, s := range al.Stale {
+		fmt.Fprintf(&b, "WARN node %d stale: epoch %d vs fleet %d\n", s.Node, s.Epoch, s.FleetEpoch)
+	}
+	io.WriteString(w, b.String())
+}

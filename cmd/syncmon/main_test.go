@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clocksync/internal/livenet"
+	"clocksync/internal/telemetry"
+	"clocksync/internal/trace"
+)
+
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets("0=h1:9090, 2=h2:9090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []telemetry.Target{{Node: 0, Addr: "h1:9090"}, {Node: 2, Addr: "h2:9090"}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("parseTargets = %+v, want %+v", got, want)
+	}
+	// Bare addresses number nodes in order.
+	got, err = parseTargets("h1:9090,h2:9090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Node != 0 || got[1].Node != 1 {
+		t.Errorf("bare targets misnumbered: %+v", got)
+	}
+	for _, bad := range []string{"", "h1", "x=h1:9090"} {
+		if _, err := parseTargets(bad); err == nil {
+			t.Errorf("parseTargets(%q) accepted", bad)
+		}
+	}
+}
+
+// TestOneShotAgainstLiveCluster is the syncmon acceptance path: one scrape
+// of a live cluster renders merged per-node readings with zero causal
+// violations, full peer matrix, and a JSONL export the trace tooling reads.
+func TestOneShotAgainstLiveCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test")
+	}
+	c, err := livenet.NewCluster(livenet.ClusterConfig{
+		N: 3, F: 0,
+		SyncInt:    100 * time.Millisecond,
+		MaxWait:    50 * time.Millisecond,
+		WayOff:     time.Second,
+		Offsets:    []time.Duration{2 * time.Millisecond, -1 * time.Millisecond},
+		Metrics:    true,
+		SpanBuffer: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if err := c.WaitConverged(10*time.Millisecond, 2, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]telemetry.Target, 3)
+	for i := range targets {
+		addr := c.MetricsAddr(i)
+		deadline := time.Now().Add(5 * time.Second)
+		for addr == "" && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			addr = c.MetricsAddr(i)
+		}
+		targets[i] = telemetry.Target{Node: i, Addr: addr}
+	}
+
+	out := filepath.Join(t.TempDir(), "fleet.jsonl")
+	m := &monitor{
+		sc:      &telemetry.Scraper{Targets: targets},
+		width:   20,
+		jsonl:   out,
+		history: make(map[int][]float64),
+	}
+	var buf bytes.Buffer
+	al, err := m.round(context.Background(), &buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Violations != 0 {
+		t.Errorf("one-shot on an honest cluster found %d violations:\n%s", al.Violations, buf.String())
+	}
+	if al.Completed == 0 {
+		t.Error("no completed exchanges in the scrape")
+	}
+
+	report := buf.String()
+	for _, want := range []string{"nodes 3/3 up", "n0", "n1", "n2", "peer matrix", "serve path:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "DOWN") || strings.Contains(report, "VIOLATION") {
+		t.Errorf("healthy cluster reported unhealthy:\n%s", report)
+	}
+	// No dark or unknown cells in the peer matrix rows.
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "  n") && (strings.Contains(line, "D") || strings.Contains(line, "?")) {
+			t.Errorf("dark/unknown peer on a healthy cluster: %q", line)
+		}
+	}
+
+	// The export is a readable merged trace stream.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("reading JSONL export: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("JSONL export is empty")
+	}
+}

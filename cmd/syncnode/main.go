@@ -61,6 +61,7 @@ func run() error {
 		serve    = cliutil.AddrVar(flag.CommandLine, "serve-addr", "", "dedicated UDP address answering time-service queries (empty = answer on the sync socket only)")
 		traceOut = flag.String("trace-out", "", "append the node's observability event stream as JSON lines to this file; readable with tracestat")
 		traceSp  = flag.Bool("trace-spans", false, "also record causal spans (round/estimate/adjust) into -trace-out")
+		spanBuf  = flag.Int("span-buffer", 0, "keep this many recent spans served on GET /spanz of -metrics-addr and propagate trace context on the wire (0 = off); the surface syncmon joins cross-node spans from")
 
 		transport = flag.String("transport", "udp", `datagram transport: "udp", or "faultudp" to wrap UDP in seeded fault injection (tune with -fault-*)`)
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault-injecting transport; same seed + traffic = same packet fates")
@@ -141,8 +142,9 @@ func run() error {
 		SimDriftPPM: *drift,
 		Serve:       livenet.ServeConfig{Addr: *serve},
 		Ops: livenet.OpsConfig{
-			Observer: observer,
-			Logf:     logf,
+			Observer:   observer,
+			SpanBuffer: *spanBuf,
+			Logf:       logf,
 		},
 	})
 	if err != nil {

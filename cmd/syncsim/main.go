@@ -252,7 +252,11 @@ func execute(s scenario.Scenario, proto string, opts runOpts) error {
 		if b, err := analysis.Derive(s.Params()); err == nil {
 			deltaEnv = float64(b.MaxDeviation)
 		}
-		d := dash.New(dash.Config{Out: os.Stdout, N: s.N, Delta: deltaEnv})
+		// The serve panel polls the run's recorder: simulated runs show it
+		// empty, but a run that also serves time (metrics-addr deployments
+		// feeding clients) gets query rate and reply quantiles live.
+		d := dash.New(dash.Config{Out: os.Stdout, N: s.N, Delta: deltaEnv,
+			Recorders: func() []*obs.Recorder { return []*obs.Recorder{observer.Recorder()} }})
 		observer.AddSink(d)
 		observer.AddSpanSink(d)
 		closers = append(closers, func() { d.Close() })

@@ -56,6 +56,12 @@ type Stats struct {
 	Estimates   int  // peer estimates mapped onto ReceiveReply/Timeout
 	EventRounds int  // round events checked structurally (no spans)
 	Corruptions int  // corruption windows honored
+	// TelemetrySpans counts fleet-telemetry spans (reply/serve/query) seen
+	// and deliberately left out of the refinement: they describe the *other*
+	// node's view of an exchange already replayed from the requester side,
+	// so replaying them too would double-count transitions. Counting them
+	// proves a merged syncmon export passed through unmangled.
+	TelemetrySpans int
 }
 
 // Report is the outcome of one Check.
@@ -107,6 +113,8 @@ func Check(events []trace.Event, cfg Config) (*Report, error) {
 				roundSpans = append(roundSpans, e)
 			case "estimate":
 				estsByParent[e.Parent] = append(estsByParent[e.Parent], e)
+			case "reply", "serve", "query":
+				rep.Stats.TelemetrySpans++
 			}
 		case trace.KindCorrupt, trace.KindRelease:
 			corrupts[e.Node] = append(corrupts[e.Node], e)

@@ -36,6 +36,11 @@ type Config struct {
 	MinFrame time.Duration
 	// Width is the sparkline/gauge width in columns (default 40).
 	Width int
+	// Recorders, when non-nil, is polled at every frame for the current
+	// recorder set and renders a serve-path panel: total queries answered,
+	// the query rate since the previous frame, and reply-latency quantiles
+	// merged across all recorders (the sampled ServeLatency histograms).
+	Recorders func() []*obs.Recorder
 }
 
 // Dash is a Sink+SpanSink rendering the stream as a terminal dashboard.
@@ -54,6 +59,11 @@ type Dash struct {
 	hDev      obs.Histogram
 	lastFrame time.Time
 	now       func() time.Time
+
+	// serve-panel rate state: the counter total and instant of the previous
+	// frame, so the panel shows a rate over the inter-frame window.
+	lastServeQueries int64
+	lastServeAt      time.Time
 }
 
 // New builds a dashboard. It renders nothing until events arrive.
@@ -146,6 +156,25 @@ func (d *Dash) renderLocked() string {
 	b.WriteString(histLine("rtt", &d.hRTT, d.cfg.Width))
 	b.WriteString(histLine("|adjust|", &d.hAdjust, d.cfg.Width))
 	b.WriteString(histLine("deviation", &d.hDev, d.cfg.Width))
+
+	if d.cfg.Recorders != nil {
+		var total int64
+		var h obs.Histogram
+		for _, r := range d.cfg.Recorders() {
+			total += r.ServeQueries.Load()
+			h.Merge(&r.ServeLatency)
+		}
+		now := d.now()
+		qps := 0.0
+		if !d.lastServeAt.IsZero() {
+			if dt := now.Sub(d.lastServeAt).Seconds(); dt > 0 {
+				qps = float64(total-d.lastServeQueries) / dt
+			}
+		}
+		d.lastServeQueries, d.lastServeAt = total, now
+		fmt.Fprintf(&b, "\nserve path: %d queries  %.0f/s\n", total, qps)
+		b.WriteString(histLine("reply", &h, d.cfg.Width))
+	}
 
 	if len(d.events) > 0 {
 		b.WriteString("\nrecent events:\n")

@@ -37,6 +37,49 @@ func TestDashRendersFrame(t *testing.T) {
 	}
 }
 
+// TestDashServePanel pins the serve-path panel: with Recorders wired, a
+// frame shows the merged query total, an inter-frame rate, and reply-latency
+// quantiles from the merged (sampled) ServeLatency histograms.
+func TestDashServePanel(t *testing.T) {
+	recA, recB := obs.NewRecorder(), obs.NewRecorder()
+	var out bytes.Buffer
+	d := New(Config{Out: &out, N: 1, Delta: 0.05, MinFrame: -1, Width: 20,
+		Recorders: func() []*obs.Recorder { return []*obs.Recorder{recA, recB} }})
+	base := time.Unix(1000, 0)
+	d.now = func() time.Time { return base }
+
+	recA.ServeQueries.Add(100)
+	recB.ServeQueries.Add(50)
+	recA.ServeLatency.Observe(2e-6)
+	recB.ServeLatency.Observe(3e-6)
+	d.Emit(obs.Event{At: 1, Kind: obs.KindSample, Biases: []float64{0}, Deviation: 0})
+
+	got := out.String()
+	if !strings.Contains(got, "serve path: 150 queries") {
+		t.Errorf("frame missing merged serve total:\n%s", got)
+	}
+	if !strings.Contains(got, "reply") {
+		t.Errorf("frame missing reply latency line:\n%s", got)
+	}
+
+	// Second frame one second later: 300 more queries → 300/s.
+	out.Reset()
+	d.now = func() time.Time { return base.Add(time.Second) }
+	recA.ServeQueries.Add(300)
+	d.Emit(obs.Event{At: 2, Kind: obs.KindSample, Biases: []float64{0}, Deviation: 0})
+	if got := out.String(); !strings.Contains(got, "serve path: 450 queries  300/s") {
+		t.Errorf("frame missing inter-frame query rate:\n%s", got)
+	}
+
+	// Without Recorders the panel stays out of the frame entirely.
+	var plain bytes.Buffer
+	p := New(Config{Out: &plain, N: 1, Delta: 0.05, MinFrame: -1, Width: 20})
+	p.Emit(obs.Event{At: 1, Kind: obs.KindSample, Biases: []float64{0}, Deviation: 0})
+	if strings.Contains(plain.String(), "serve path") {
+		t.Errorf("serve panel rendered without recorders:\n%s", plain.String())
+	}
+}
+
 func TestDashThrottlesFrames(t *testing.T) {
 	var out bytes.Buffer
 	d := New(Config{Out: &out, N: 1, Delta: 1, MinFrame: time.Hour, Width: 10})

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"clocksync/internal/obs"
 )
 
 // Client issues 4-timestamp time queries against a serving Node and turns
@@ -51,6 +53,15 @@ type ClientConfig struct {
 	// Timeout bounds one Query when its context has no earlier deadline
 	// (default 1s).
 	Timeout time.Duration
+	// Observer, when it has a span sink attached, makes the client emit a
+	// "query" span per completed exchange and stamp the serve wire's
+	// trace-context extension, so the server's "serve" span shares the same
+	// id and a fleet aggregator can join the two sides. Nil (or sinkless)
+	// keeps queries untraced and byte-identical to the pre-extension wire.
+	Observer *obs.Observer
+	// Origin is the fleet node id stamped into traced queries, identifying
+	// this client in merged cross-node traces.
+	Origin uint32
 }
 
 // clientDriftPPM is the drift bound a client assumes for interpolating
@@ -152,16 +163,37 @@ func (c *Client) Query(ctx context.Context) (Reading, error) {
 		defer cancel()
 	}
 
-	var buf [ServeQuerySize]byte
+	var span obs.SpanID
+	if c.cfg.Observer.SpansEnabled() {
+		span = c.cfg.Observer.NextSpanID()
+	}
+	var buf [ServeQueryMaxSize]byte
 	t1 := time.Now()
-	pkt := EncodeServeQuery(buf[:], ServeQuery{Nonce: nonce, T1: t1.UnixNano()})
+	pkt := EncodeServeQuery(buf[:], ServeQuery{
+		Nonce: nonce, T1: t1.UnixNano(),
+		Traced: span != 0, Span: uint64(span), Origin: c.cfg.Origin,
+	})
 	if err := c.tr.WriteTo(pkt, c.cfg.Server); err != nil {
 		return Reading{}, fmt.Errorf("livenet: query send: %w", err)
 	}
 
 	select {
 	case cr := <-ch:
-		return c.absorb(cr)
+		reading, err := c.absorb(cr)
+		if err == nil && span != 0 {
+			// The client half of the join: send (T1) → reply receipt (T4),
+			// under the same id the server's "serve" span carries.
+			c.cfg.Observer.EmitSpan(obs.Span{
+				ID: span, Name: obs.SpanQuery, Node: int(c.cfg.Origin),
+				Start: float64(t1.UnixNano()) / 1e9,
+				End:   float64(cr.t4.UnixNano()) / 1e9,
+				Fields: obs.F("server", float64(cr.reply.Node)).
+					F("theta", reading.Time.Sub(cr.t4).Seconds()).
+					F("unc", reading.Uncertainty.Seconds()).
+					F("epoch", float64(reading.Epoch)),
+			})
+		}
+		return reading, err
 	case <-ctx.Done():
 		return Reading{}, fmt.Errorf("livenet: query to %s: %w", c.cfg.Server, ctx.Err())
 	}

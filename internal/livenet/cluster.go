@@ -43,6 +43,12 @@ type ClusterConfig struct {
 	Serve bool
 	// Observer receives the structured event stream of every node.
 	Observer *obs.Observer
+	// SpanBuffer, when positive, gives every node a span ring of that
+	// capacity served on its GET /spanz endpoint, enabling cross-node trace
+	// propagation. When Observer is nil each node gets a private observer, so
+	// per-node span-id counters stay independent and /spanz carries only that
+	// node's spans — the shape the telemetry scraper expects.
+	SpanBuffer int
 }
 
 // NewCluster opens sockets for all nodes and wires their peer tables. Call
@@ -61,7 +67,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if i < len(cfg.DriftPPM) {
 			drift = cfg.DriftPPM[i]
 		}
-		ops := OpsConfig{Logf: cfg.Logf, Observer: cfg.Observer}
+		ops := OpsConfig{Logf: cfg.Logf, Observer: cfg.Observer, SpanBuffer: cfg.SpanBuffer}
 		if cfg.Metrics {
 			ops.MetricsAddr = "127.0.0.1:0"
 		}

@@ -43,6 +43,17 @@ import (
 )
 
 // wireMsg is the on-the-wire JSON message.
+//
+// Span and Epoch are the compact trace context of the fleet telemetry plane:
+// a requester with span tracing enabled stamps each query with the estimate
+// span's ID and its sync epoch, and the responder records its half of the
+// exchange (a "reply" span) under that same ID, so the two sides join across
+// process boundaries (origin = From). Both fields are omitted when tracing
+// is off — an untraced node emits wire bytes identical to earlier releases —
+// and are ignored by untraced receivers, so the extension is compatible in
+// both directions. They are deliberately outside the MAC: trace context is
+// observability metadata, never protocol input, and forging it can only
+// pollute telemetry, not clocks.
 type wireMsg struct {
 	V     int    `json:"v"`           // protocol version
 	Type  string `json:"t"`           // "q" request | "r" response
@@ -50,6 +61,8 @@ type wireMsg struct {
 	Nonce uint64 `json:"n"`           // request/response pairing
 	Clock int64  `json:"c,omitempty"` // responder clock, unix nanoseconds
 	MAC   []byte `json:"m,omitempty"` // HMAC-SHA256 tag
+	Span  uint64 `json:"s,omitempty"` // trace context: requester's estimate-span ID
+	Epoch uint64 `json:"e,omitempty"` // trace context: requester's sync epoch at send
 }
 
 const wireVersion = 1
@@ -90,6 +103,16 @@ type OpsConfig struct {
 	// safely serve a whole cluster's events.
 	Observer *obs.Observer
 
+	// SpanBuffer, when positive, keeps the node's most recent spans in an
+	// in-memory ring served as JSON on GET /spanz of the metrics endpoint —
+	// the surface the fleet telemetry scraper (internal/telemetry, syncmon)
+	// joins cross-node spans from. Setting it enables span emission: when
+	// Observer is nil a private observer is created for the ring. With a
+	// shared multi-node Observer the ring sees every node's spans (the
+	// scraper dedupes by (node, span)); per-node observers keep /spanz
+	// per-node, which is the fleet-realistic shape.
+	SpanBuffer int
+
 	// Logf receives diagnostic output; nil silences the node.
 	Logf func(format string, args ...any)
 }
@@ -100,6 +123,9 @@ func (o OpsConfig) validate() error {
 		if err := validateHostPort("Ops.MetricsAddr", o.MetricsAddr); err != nil {
 			return err
 		}
+	}
+	if o.SpanBuffer < 0 {
+		return fmt.Errorf("livenet: Ops.SpanBuffer %d is negative (0 disables the /spanz ring)", o.SpanBuffer)
 	}
 	return nil
 }
@@ -254,6 +280,8 @@ type Node struct {
 	rec     *obs.Recorder
 	snap    snapPtr // published Reading snapshot (reading.go)
 
+	spanRing *obs.SpanRing // recent spans for /spanz (nil unless Ops.SpanBuffer > 0)
+
 	mu          sync.Mutex
 	peers       map[int]string // id → transport address
 	adj         time.Duration
@@ -261,6 +289,7 @@ type Node struct {
 	pending     map[uint64]pendingPing
 	syncs       int
 	last        time.Duration
+	lastRound   lastRoundInfo // most recent round verdict (statusz.go)
 	peerSeen    map[int]peerStats
 	health      map[int]*peerHealth
 	metricsAddr string
@@ -338,12 +367,23 @@ func New(cfg Config) (*Node, error) {
 			}
 		}
 	}
+	var spanRing *obs.SpanRing
+	if cfg.Ops.SpanBuffer > 0 {
+		// The /spanz ring needs span emission: attach it to the configured
+		// observer, or to a private one when the caller did not provide any.
+		spanRing = obs.NewSpanRing(cfg.Ops.SpanBuffer)
+		if cfg.Ops.Observer == nil {
+			cfg.Ops.Observer = obs.NewObserver()
+		}
+		cfg.Ops.Observer.AddSpanSink(spanRing)
+	}
 	n := &Node{
-		cfg:     cfg,
-		tr:      tr,
-		serveTr: serveTr,
-		peers:   make(map[int]string, len(cfg.Peers)),
-		start:   time.Now(),
+		cfg:      cfg,
+		tr:       tr,
+		serveTr:  serveTr,
+		spanRing: spanRing,
+		peers:    make(map[int]string, len(cfg.Peers)),
+		start:    time.Now(),
 		// Counters are always per-node (the /metrics endpoint labels them by
 		// id); Ops.Observer receives only the event stream.
 		rec:      obs.NewRecorder(),
@@ -493,6 +533,7 @@ func (n *Node) ServeMetrics(ctx context.Context, addr string) (string, error) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
 	})
+	n.registerTelemetry(mux) // /statusz, /read, /spanz (statusz.go)
 	bound, err := obs.Serve(ctx, &n.wg, addr, mux)
 	if err != nil {
 		return "", err
@@ -680,7 +721,7 @@ func (n *Node) logf(format string, args ...any) {
 // sync wire and are dispatched before JSON parsing is attempted.
 func (n *Node) readLoop(ctx context.Context) {
 	buf := make([]byte, 2048)
-	scratch := make([]byte, ServeReplySize)
+	scratch := make([]byte, ServeReplyMaxSize)
 	for {
 		nr, from, err := n.tr.ReadFrom(buf)
 		if err != nil {
@@ -719,7 +760,12 @@ func (n *Node) readLoop(ctx context.Context) {
 }
 
 // answer replies to a time request with the current clock — always the
-// current clock, per the paper's roundless design.
+// current clock, per the paper's roundless design. A traced request (wire
+// Span ≠ 0) additionally records this node's half of the exchange as a
+// zero-duration "reply" span under the requester's propagated span ID, with
+// the reported clock value, this node's own uncertainty interval and epoch —
+// the responder-side data the fleet aggregator joins against the requester's
+// estimate span.
 func (n *Node) answer(req wireMsg, from string) {
 	resp := wireMsg{
 		V:     wireVersion,
@@ -729,6 +775,21 @@ func (n *Node) answer(req wireMsg, from string) {
 		Clock: n.clockNow().UnixNano(),
 	}
 	n.send(resp, from)
+	if req.Span != 0 {
+		if o := n.cfg.Ops.Observer; o.SpansEnabled() {
+			r := n.Read()
+			nowU := float64(time.Now().UnixNano()) / 1e9
+			o.EmitSpan(obs.Span{
+				ID: obs.SpanID(req.Span), Name: obs.SpanReply, Node: n.cfg.ID,
+				Start: nowU, End: nowU,
+				Fields: obs.F("origin", float64(req.From)).
+					F("origin_epoch", float64(req.Epoch)).
+					F("node_time", float64(resp.Clock)/1e9).
+					F("unc", r.Uncertainty.Seconds()).
+					F("epoch", float64(r.Epoch)),
+			})
+		}
+	}
 }
 
 func (n *Node) send(msg wireMsg, to string) {
@@ -831,9 +892,11 @@ func (n *Node) runSync(ctx context.Context) {
 	o := n.cfg.Ops.Observer
 	var roundSpan obs.SpanID
 	var roundStart float64
+	var roundEpoch uint64
 	if o.SpansEnabled() {
 		roundSpan = o.NextSpanID()
 		roundStart = float64(time.Now().UnixNano()) / 1e9
+		roundEpoch = uint64(n.Syncs())
 	}
 
 	// Snapshot the peer table and health state.
@@ -873,7 +936,13 @@ func (n *Node) runSync(ctx context.Context) {
 		}
 		roundNonces = append(roundNonces, nonce)
 		n.mu.Unlock()
-		n.send(wireMsg{V: wireVersion, Type: "q", From: n.cfg.ID, Nonce: nonce}, t.addr)
+		// Traced queries carry the estimate span's ID and this node's epoch
+		// so the responder's reply span joins to ours; untraced queries
+		// (span 0) omit both fields and match the pre-telemetry wire bytes.
+		n.send(wireMsg{
+			V: wireVersion, Type: "q", From: n.cfg.ID, Nonce: nonce,
+			Span: uint64(span), Epoch: roundEpoch,
+		}, t.addr)
 	}
 
 	brightLeft, darkLeft := 0, 0
@@ -1034,6 +1103,9 @@ collect:
 	delta, jumped, ok := core.ConvergeVerdict(n.cfg.F, simtime.Duration(n.cfg.WayOff.Seconds()), ests)
 	if !ok {
 		n.rec.RoundsSkipped.Inc()
+		n.mu.Lock()
+		n.lastRound = lastRoundInfo{at: time.Now(), failed: failed, skipped: true, set: true}
+		n.mu.Unlock()
 		n.emit(obs.KindSkip, map[string]float64{"failed": float64(failed)})
 		if roundSpan != 0 {
 			o.EmitSpan(obs.Span{
@@ -1068,6 +1140,7 @@ collect:
 	n.adj += dd
 	n.syncs++
 	n.last = dd
+	n.lastRound = lastRoundInfo{at: time.Now(), delta: dd, failed: failed, wayoff: jumped, set: true}
 	n.mu.Unlock()
 	n.publishReading(roundUnc)
 	n.rec.SyncRounds.Inc()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"clocksync/internal/obs"
 )
 
 // The time-serving wire protocol: a fixed-size binary 4-timestamp exchange
@@ -34,8 +36,9 @@ import (
 // transported it. Deployments that need authenticated time should front the
 // serve port the same way they would front an NTP pool.
 
-// Serve wire constants. Both packet sizes are exact: a serve datagram with
-// any other length is rejected.
+// Serve wire constants. Packet sizes are exact at each of the two valid
+// lengths: the base layout, or the base layout plus the trace-context
+// extension. Any other length is rejected.
 const (
 	serveMagic   uint16 = 0x4353 // "CS"; first byte 0x43 ≠ '{' keeps JSON apart
 	serveVersion byte   = 1
@@ -43,23 +46,50 @@ const (
 	serveModeQuery byte = 1
 	serveModeReply byte = 2
 
-	// ServeQuerySize is the exact length of an encoded query datagram.
+	// ServeQuerySize is the exact length of an untraced query datagram.
 	ServeQuerySize = 20
-	// ServeReplySize is the exact length of an encoded reply datagram.
+	// ServeReplySize is the exact length of an untraced reply datagram.
 	ServeReplySize = 56
+
+	// serveExtSize is the trailing trace-context extension: span id (8) +
+	// origin node (4), big-endian. A traced client appends it to its query;
+	// the node echoes it on the reply and records a "serve" span under the
+	// propagated id. Version-1 decoders written before the extension existed
+	// rejected the longer packets outright (never misparsed them), so the
+	// extension is additive for every reader that accepts it and safely
+	// refused by those that predate it.
+	serveExtSize = 12
+
+	// ServeQueryMaxSize is the length of a query carrying trace context.
+	ServeQueryMaxSize = ServeQuerySize + serveExtSize
+	// ServeReplyMaxSize is the length of a reply carrying trace context.
+	ServeReplyMaxSize = ServeReplySize + serveExtSize
 )
 
 // ServeQuery is a client's time request: an opaque pairing nonce and the
 // client clock at transmission (T1), in Unix nanoseconds.
+//
+// Traced, when set, appends the trace-context extension: Span is the
+// client's span id for this exchange and Origin the client's fleet node id,
+// so the span the client records and the "serve" span the node records share
+// an id and an aggregator can join them across machines. Untraced queries
+// encode to exactly the pre-extension bytes.
 type ServeQuery struct {
 	Nonce uint64
 	T1    int64
+
+	Traced bool
+	Span   uint64
+	Origin uint32
 }
 
 // ServeReply is a node's answer: the echoed nonce and T1, the node clock at
 // receipt (T2) and at transmission (T3) in Unix nanoseconds, the node's own
 // uncertainty half-width at T3, the sync epoch the reading derives from, and
 // the node id.
+// Traced/Span/Origin echo the query's trace-context extension so the client
+// can confirm the join id round-tripped; an untraced query always yields an
+// untraced reply.
 type ServeReply struct {
 	Nonce       uint64
 	T1          int64
@@ -68,6 +98,10 @@ type ServeReply struct {
 	Uncertainty time.Duration
 	Epoch       uint64
 	Node        uint32
+
+	Traced bool
+	Span   uint64
+	Origin uint32
 }
 
 // Serve packet layout offsets (big-endian). The header is shared:
@@ -102,8 +136,9 @@ func isServePacket(b []byte) bool {
 }
 
 // EncodeServeQuery writes q into buf, which must have room for
-// ServeQuerySize bytes, and returns the encoded slice. Passing a
-// stack-allocated or reused buffer keeps the hot path allocation-free.
+// ServeQueryMaxSize bytes when q.Traced and ServeQuerySize otherwise, and
+// returns the encoded slice. Passing a stack-allocated or reused buffer keeps
+// the hot path allocation-free.
 func EncodeServeQuery(buf []byte, q ServeQuery) []byte {
 	b := buf[:ServeQuerySize]
 	binary.BigEndian.PutUint16(b[serveOffMagic:], serveMagic)
@@ -111,17 +146,23 @@ func EncodeServeQuery(buf []byte, q ServeQuery) []byte {
 	b[serveOffMode] = serveModeQuery
 	binary.BigEndian.PutUint64(b[serveOffNonce:], q.Nonce)
 	binary.BigEndian.PutUint64(b[serveOffT1:], uint64(q.T1))
+	if q.Traced {
+		b = buf[:ServeQueryMaxSize]
+		binary.BigEndian.PutUint64(b[ServeQuerySize:], q.Span)
+		binary.BigEndian.PutUint32(b[ServeQuerySize+8:], q.Origin)
+	}
 	return b
 }
 
 // DecodeServeQuery parses a query datagram, rejecting anything that is not
-// exactly a version-1 query of the right length.
+// exactly a version-1 query at one of the two valid lengths (with or without
+// the trace-context extension).
 func DecodeServeQuery(b []byte) (ServeQuery, error) {
 	if !isServePacket(b) {
 		return ServeQuery{}, ErrServeBadMagic
 	}
-	if len(b) != ServeQuerySize {
-		return ServeQuery{}, fmt.Errorf("%w: got %d bytes, want %d", ErrServeBadLength, len(b), ServeQuerySize)
+	if len(b) != ServeQuerySize && len(b) != ServeQueryMaxSize {
+		return ServeQuery{}, fmt.Errorf("%w: got %d bytes, want %d or %d", ErrServeBadLength, len(b), ServeQuerySize, ServeQueryMaxSize)
 	}
 	if b[serveOffVersion] != serveVersion {
 		return ServeQuery{}, fmt.Errorf("%w: got %d, want %d", ErrServeBadVersion, b[serveOffVersion], serveVersion)
@@ -129,14 +170,21 @@ func DecodeServeQuery(b []byte) (ServeQuery, error) {
 	if b[serveOffMode] != serveModeQuery {
 		return ServeQuery{}, fmt.Errorf("%w: got %d, want query (%d)", ErrServeBadMode, b[serveOffMode], serveModeQuery)
 	}
-	return ServeQuery{
+	q := ServeQuery{
 		Nonce: binary.BigEndian.Uint64(b[serveOffNonce:]),
 		T1:    int64(binary.BigEndian.Uint64(b[serveOffT1:])),
-	}, nil
+	}
+	if len(b) == ServeQueryMaxSize {
+		q.Traced = true
+		q.Span = binary.BigEndian.Uint64(b[ServeQuerySize:])
+		q.Origin = binary.BigEndian.Uint32(b[ServeQuerySize+8:])
+	}
+	return q, nil
 }
 
 // EncodeServeReply writes r into buf, which must have room for
-// ServeReplySize bytes, and returns the encoded slice.
+// ServeReplyMaxSize bytes when r.Traced and ServeReplySize otherwise, and
+// returns the encoded slice.
 func EncodeServeReply(buf []byte, r ServeReply) []byte {
 	b := buf[:ServeReplySize]
 	binary.BigEndian.PutUint16(b[serveOffMagic:], serveMagic)
@@ -149,17 +197,23 @@ func EncodeServeReply(buf []byte, r ServeReply) []byte {
 	binary.BigEndian.PutUint64(b[serveOffUnc:], uint64(r.Uncertainty))
 	binary.BigEndian.PutUint64(b[serveOffEpoch:], r.Epoch)
 	binary.BigEndian.PutUint32(b[serveOffNode:], r.Node)
+	if r.Traced {
+		b = buf[:ServeReplyMaxSize]
+		binary.BigEndian.PutUint64(b[ServeReplySize:], r.Span)
+		binary.BigEndian.PutUint32(b[ServeReplySize+8:], r.Origin)
+	}
 	return b
 }
 
 // DecodeServeReply parses a reply datagram, rejecting anything that is not
-// exactly a version-1 reply of the right length.
+// exactly a version-1 reply at one of the two valid lengths (with or without
+// the trace-context extension).
 func DecodeServeReply(b []byte) (ServeReply, error) {
 	if !isServePacket(b) {
 		return ServeReply{}, ErrServeBadMagic
 	}
-	if len(b) != ServeReplySize {
-		return ServeReply{}, fmt.Errorf("%w: got %d bytes, want %d", ErrServeBadLength, len(b), ServeReplySize)
+	if len(b) != ServeReplySize && len(b) != ServeReplyMaxSize {
+		return ServeReply{}, fmt.Errorf("%w: got %d bytes, want %d or %d", ErrServeBadLength, len(b), ServeReplySize, ServeReplyMaxSize)
 	}
 	if b[serveOffVersion] != serveVersion {
 		return ServeReply{}, fmt.Errorf("%w: got %d, want %d", ErrServeBadVersion, b[serveOffVersion], serveVersion)
@@ -167,7 +221,7 @@ func DecodeServeReply(b []byte) (ServeReply, error) {
 	if b[serveOffMode] != serveModeReply {
 		return ServeReply{}, fmt.Errorf("%w: got %d, want reply (%d)", ErrServeBadMode, b[serveOffMode], serveModeReply)
 	}
-	return ServeReply{
+	r := ServeReply{
 		Nonce:       binary.BigEndian.Uint64(b[serveOffNonce:]),
 		T1:          int64(binary.BigEndian.Uint64(b[serveOffT1:])),
 		T2:          int64(binary.BigEndian.Uint64(b[serveOffT2:])),
@@ -175,7 +229,13 @@ func DecodeServeReply(b []byte) (ServeReply, error) {
 		Uncertainty: time.Duration(binary.BigEndian.Uint64(b[serveOffUnc:])),
 		Epoch:       binary.BigEndian.Uint64(b[serveOffEpoch:]),
 		Node:        binary.BigEndian.Uint32(b[serveOffNode:]),
-	}, nil
+	}
+	if len(b) == ServeReplyMaxSize {
+		r.Traced = true
+		r.Span = binary.BigEndian.Uint64(b[ServeReplySize:])
+		r.Origin = binary.BigEndian.Uint32(b[ServeReplySize+8:])
+	}
+	return r, nil
 }
 
 // ServeConfig configures a node's client-facing time service. The zero value
@@ -221,6 +281,14 @@ func (n *Node) ServeAddr() string {
 // path free of allocations outside the transport. Malformed serve-magic
 // datagrams are counted and dropped.
 func (n *Node) answerServe(buf []byte, from string, scratch []byte, tr Transport) {
+	// ServeLatency is sampled 1-in-64 (cheap counter mask, no RNG) so the
+	// reply p50/p95/p99 surface stays live without putting two extra
+	// time.Now() calls on every query of a multi-Mqps hot path.
+	sampled := n.rec.ServeQueries.Load()&63 == 0
+	var begin time.Time
+	if sampled {
+		begin = time.Now()
+	}
 	q, err := DecodeServeQuery(buf)
 	if err != nil {
 		n.rec.ServeBad.Inc()
@@ -240,12 +308,32 @@ func (n *Node) answerServe(buf []byte, from string, scratch []byte, tr Transport
 		Uncertainty: r.Uncertainty,
 		Epoch:       r.Epoch,
 		Node:        uint32(n.cfg.ID),
+		Traced:      q.Traced,
+		Span:        q.Span,
+		Origin:      q.Origin,
 	})
 	if err := tr.WriteTo(reply, from); err != nil {
 		n.rec.ServeDropped.Inc()
 		return
 	}
 	n.rec.ServeQueries.Inc()
+	if sampled {
+		n.rec.ServeLatency.Observe(time.Since(begin).Seconds())
+	}
+	// A traced query gets a "serve" span under the client's propagated id:
+	// the server half of the cross-node join. Zero-duration at the reading
+	// instant; node_time is exactly the T2=T3 value the client folds into θ.
+	if o := n.cfg.Ops.Observer; q.Traced && q.Span != 0 && o.SpansEnabled() {
+		nowU := float64(time.Now().UnixNano()) / 1e9
+		o.EmitSpan(obs.Span{
+			ID: obs.SpanID(q.Span), Name: obs.SpanServe, Node: n.cfg.ID,
+			Start: nowU, End: nowU,
+			Fields: obs.F("origin", float64(q.Origin)).
+				F("node_time", float64(t)/1e9).
+				F("unc", r.Uncertainty.Seconds()).
+				F("epoch", float64(r.Epoch)),
+		})
+	}
 }
 
 // serveLoop answers time queries on the dedicated serve transport until it
@@ -253,7 +341,7 @@ func (n *Node) answerServe(buf []byte, from string, scratch []byte, tr Transport
 // arrive here, and anything unrecognized is counted and dropped.
 func (n *Node) serveLoop() {
 	buf := make([]byte, 2048)
-	scratch := make([]byte, ServeReplySize)
+	scratch := make([]byte, ServeReplyMaxSize)
 	for {
 		nr, from, err := n.serveTr.ReadFrom(buf)
 		if err != nil {

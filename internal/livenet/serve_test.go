@@ -55,6 +55,55 @@ func TestServePacketGolden(t *testing.T) {
 	}
 }
 
+// TestServePacketGoldenTraced pins the trace-context extension byte for
+// byte: exactly 12 extra bytes (span id, origin node) appended past the
+// untraced layout, which stays bit-identical underneath.
+func TestServePacketGoldenTraced(t *testing.T) {
+	q := ServeQuery{
+		Nonce: 0x0102030405060708, T1: 0x1122334455667788,
+		Traced: true, Span: 0xa1a2a3a4a5a6a7a8, Origin: 9,
+	}
+	wantQ := "4353" + "01" + "01" + // magic, version, mode=query
+		"0102030405060708" + // nonce
+		"1122334455667788" + // t1
+		"a1a2a3a4a5a6a7a8" + // ext: span
+		"00000009" // ext: origin
+	gotQ := EncodeServeQuery(make([]byte, ServeQueryMaxSize), q)
+	if hex.EncodeToString(gotQ) != wantQ {
+		t.Fatalf("traced query encoding\n got %s\nwant %s", hex.EncodeToString(gotQ), wantQ)
+	}
+	backQ, err := DecodeServeQuery(gotQ)
+	if err != nil || backQ != q {
+		t.Fatalf("traced query roundtrip: got %+v, %v; want %+v", backQ, err, q)
+	}
+
+	r := ServeReply{
+		Nonce: 0x0102030405060708, T1: 0x1122334455667788,
+		T2: 0x2122232425262728, T3: 0x3132333435363738,
+		Uncertainty: 0xfff, Epoch: 0xaa, Node: 7,
+		Traced: true, Span: 0xa1a2a3a4a5a6a7a8, Origin: 9,
+	}
+	wantR := "4353" + "01" + "02" +
+		"0102030405060708" + "1122334455667788" +
+		"2122232425262728" + "3132333435363738" +
+		"0000000000000fff" + "00000000000000aa" + "00000007" +
+		"a1a2a3a4a5a6a7a8" + "00000009" // ext: span, origin
+	gotR := EncodeServeReply(make([]byte, ServeReplyMaxSize), r)
+	if hex.EncodeToString(gotR) != wantR {
+		t.Fatalf("traced reply encoding\n got %s\nwant %s", hex.EncodeToString(gotR), wantR)
+	}
+	backR, err := DecodeServeReply(gotR)
+	if err != nil || backR != r {
+		t.Fatalf("traced reply roundtrip: got %+v, %v; want %+v", backR, err, r)
+	}
+
+	// Truncating the extension mid-way is a length error, not a silent
+	// fallback to the untraced layout.
+	if _, err := DecodeServeQuery(gotQ[:ServeQuerySize+6]); !errors.Is(err, ErrServeBadLength) {
+		t.Errorf("half-extension query: err = %v, want %v", err, ErrServeBadLength)
+	}
+}
+
 // TestServeDecodeRejects pins the decoder's rejection surface: truncation,
 // padding, foreign magic, future versions and crossed modes all error
 // without panicking.
@@ -101,18 +150,23 @@ func TestServeDecodeRejects(t *testing.T) {
 func FuzzServePacket(f *testing.F) {
 	f.Add(EncodeServeQuery(make([]byte, ServeQuerySize), ServeQuery{Nonce: 1, T1: -1}))
 	f.Add(EncodeServeReply(make([]byte, ServeReplySize), ServeReply{Nonce: 2, T2: 3, Node: 4}))
+	f.Add(EncodeServeQuery(make([]byte, ServeQueryMaxSize), ServeQuery{Nonce: 1, Traced: true, Span: 77, Origin: 5}))
+	f.Add(EncodeServeReply(make([]byte, ServeReplyMaxSize), ServeReply{Nonce: 2, Traced: true, Span: 77, Origin: 5}))
 	f.Add([]byte{0x43, 0x53})
 	f.Add([]byte(`{"v":1,"t":"q"}`))
 	f.Add(bytes.Repeat([]byte{0x43}, 4096))
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Re-encode buffers are Max-sized: any accepted packet — traced or
+		// not — must round-trip, and the encoder only uses the extension
+		// bytes when Traced is set.
 		if q, err := DecodeServeQuery(data); err == nil {
-			back := EncodeServeQuery(make([]byte, ServeQuerySize), q)
+			back := EncodeServeQuery(make([]byte, ServeQueryMaxSize), q)
 			if !bytes.Equal(back, data) {
 				t.Fatalf("accepted query does not re-encode to itself:\n in %x\nout %x", data, back)
 			}
 		}
 		if r, err := DecodeServeReply(data); err == nil {
-			back := EncodeServeReply(make([]byte, ServeReplySize), r)
+			back := EncodeServeReply(make([]byte, ServeReplyMaxSize), r)
 			if !bytes.Equal(back, data) {
 				t.Fatalf("accepted reply does not re-encode to itself:\n in %x\nout %x", data, back)
 			}

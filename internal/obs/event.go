@@ -178,6 +178,30 @@ func (j *JSONL) EmitSpan(s Span) {
 	j.mu.Unlock()
 }
 
+// MarshalSpans encodes spans as a JSON array of span records — each element
+// byte-compatible with the JSONL span-line encoding, so trace.Event decodes
+// them. The /spanz endpoint of a live node serves this shape and the
+// telemetry scraper parses it.
+func MarshalSpans(spans []Span) ([]byte, error) {
+	recs := make([]spanRecord, len(spans))
+	for i, s := range spans {
+		recs[i] = spanRecord{
+			At:     s.Start,
+			Kind:   "span",
+			Node:   s.Node,
+			Name:   s.Name,
+			Span:   uint64(s.ID),
+			Parent: uint64(s.Parent),
+			Dur:    s.Dur(),
+		}
+		if s.Fields.Len() > 0 {
+			f := s.Fields
+			recs[i].Fields = &f
+		}
+	}
+	return json.Marshal(recs)
+}
+
 // Flush drains the buffer and returns the first error encountered, if any.
 func (j *JSONL) Flush() error {
 	j.mu.Lock()

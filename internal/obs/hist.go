@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 )
@@ -182,6 +183,36 @@ func bucketRange(i int) (lo, hi float64) {
 		return histBounds[histEdges-1], math.Inf(1)
 	}
 	return histBounds[i-1], histBounds[i]
+}
+
+// NumHistogramBuckets returns the number of per-bucket counters every
+// Histogram carries: one per edge plus the overflow bucket — the length
+// Buckets returns and HistogramFromBuckets expects.
+func NumHistogramBuckets() int { return histBuckets }
+
+// HistogramFromBuckets reconstructs a Histogram from externally obtained
+// per-bucket counts (not cumulative; the last entry is the overflow bucket)
+// and the observation sum. It is the inverse of Buckets/Sum for any
+// histogram that shares the fixed layout — the telemetry scraper uses it to
+// rebuild a remote node's histograms from its Prometheus exposition so they
+// can be merged with Merge. Counts must have exactly NumHistogramBuckets
+// entries and be non-negative.
+func HistogramFromBuckets(counts []int64, sum float64) (*Histogram, error) {
+	if len(counts) != histBuckets {
+		return nil, fmt.Errorf("obs: histogram needs %d bucket counts, got %d", histBuckets, len(counts))
+	}
+	h := &Histogram{}
+	var total int64
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("obs: negative count %d in bucket %d", c, i)
+		}
+		h.counts[i].Store(c)
+		total += c
+	}
+	h.total.Store(total)
+	h.sum.Store(math.Float64bits(sum))
+	return h, nil
 }
 
 // Merge adds other's observations into h. Safe because all Histograms share

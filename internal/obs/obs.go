@@ -97,10 +97,11 @@ type Recorder struct {
 	AmortizationProgress Gauge
 
 	// Distribution histograms (shared log-bucketed layout; see Histogram).
-	RTT       Histogram // peer estimation round-trip time, seconds
-	EstError  Histogram // estimation error bound a of Definition 4, seconds
-	AdjustMag Histogram // |adjustment| per non-skipped round, seconds
-	Deviation Histogram // good-set deviation per measurement sample, seconds
+	RTT          Histogram // peer estimation round-trip time, seconds
+	EstError     Histogram // estimation error bound a of Definition 4, seconds
+	AdjustMag    Histogram // |adjustment| per non-skipped round, seconds
+	Deviation    Histogram // good-set deviation per measurement sample, seconds
+	ServeLatency Histogram // server-side serve-query handling latency (sampled), seconds
 }
 
 // NewRecorder returns an empty recorder.
@@ -160,6 +161,7 @@ func (r *Recorder) Histograms() []HistMetric {
 		{"clocksync_estimate_error_seconds", "Estimation error bound a (Definition 4).", &r.EstError},
 		{"clocksync_adjust_magnitude_seconds", "Absolute convergence adjustment per round.", &r.AdjustMag},
 		{"clocksync_deviation_seconds", "Good-set deviation per measurement sample.", &r.Deviation},
+		{"clocksync_serve_latency_seconds", "Server-side serve-query handling latency (sampled).", &r.ServeLatency},
 	}
 }
 

@@ -81,6 +81,46 @@ func RoundSpan(b *testing.B) {
 	}
 }
 
+// TraceContextDisabled measures the per-message cost trace-context
+// propagation adds when no span sink is attached — the default for every
+// node. The wire layers run exactly this per outgoing request: one
+// SpansEnabled guard deciding whether to issue and stamp a span ID. It must
+// report 0 allocs/op (the disabled-observer acceptance bound for the fleet
+// telemetry plane).
+func TraceContextDisabled(b *testing.B) {
+	o := obs.NewObserver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var span obs.SpanID
+		if o.SpansEnabled() {
+			span = o.NextSpanID()
+		}
+		if span != 0 {
+			b.Fatal("span issued without a span sink")
+		}
+	}
+}
+
+// ReplySpan measures the responder-side half of a cross-node joined exchange:
+// emitting one zero-duration reply span — under the requester's propagated
+// span ID — with the origin/epoch/uncertainty payload, into a span ring. This
+// runs once per answered request on every traced node.
+func ReplySpan(b *testing.B) {
+	o := obs.NewObserver()
+	o.AddSpanSink(obs.NewSpanRing(1024))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.EmitSpan(obs.Span{
+			ID: obs.SpanID(uint64(i + 1)), Name: obs.SpanReply, Node: 1,
+			Start: 1, End: 1,
+			Fields: obs.F("origin", 0).F("origin_epoch", 41).
+				F("node_time", 1.5).F("unc", 0.0004).F("epoch", 42),
+		})
+	}
+}
+
 // HistogramObserve measures one lock-free histogram observation — the
 // per-estimate cost of the RTT/error/adjustment histograms.
 func HistogramObserve(b *testing.B) {

@@ -32,6 +32,16 @@ const (
 	SpanEstimate = "estimate" // one peer estimation, send → reply/timeout
 	SpanReading  = "reading"  // the convergence function's verdict on one estimate
 	SpanAdjust   = "adjust"   // the adjustment step of a round
+
+	// Cross-node telemetry spans. These carry a span ID *propagated over the
+	// wire* rather than issued locally: the responder records its side of an
+	// exchange under the requester's span ID, so a fleet aggregator
+	// (internal/telemetry) can join the two halves recorded on different
+	// nodes. They are observability metadata, not protocol state — the
+	// conformance checker counts and ignores them.
+	SpanReply = "reply" // responder's view of one estimate exchange (joins to "estimate")
+	SpanServe = "serve" // server's view of one serve query (joins to "query")
+	SpanQuery = "query" // client's view of one serve exchange, send → reply
 )
 
 // maxSpanFields bounds the inline field storage of a Span. The widest span

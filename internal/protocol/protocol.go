@@ -21,9 +21,17 @@ import (
 // this does not hurt the application; nonces make the simulation strict).
 type TimeReq struct {
 	Nonce uint64
+	// Span is the requester's estimation-span id, propagated so the
+	// responder's "reply" span shares it and cross-node traces join — the
+	// simulated twin of the live sync wire's trace context. Zero when the
+	// requester is untraced.
+	Span obs.SpanID
 }
 
-// WireSize implements network.Sizer.
+// WireSize implements network.Sizer. Trace context is not counted: like the
+// live wire (where untraced packets omit it entirely), it must not perturb
+// simulated transmission timing, or enabling tracing would change every
+// deterministic schedule and invalidate the committed goldens.
 func (TimeReq) WireSize() int { return 20 }
 
 // TimeResp carries the responder's clock value at the moment of reply.
@@ -237,13 +245,26 @@ func (h *Harness) receive(msg network.Message) {
 func (h *Harness) answerTimeReq(from int, req TimeReq) {
 	now := h.sim.Now()
 	if h.faulty {
+		// A corrupted processor emits no telemetry: the adversary does not
+		// advertise itself in the trace plane.
 		reading, reply := h.behavior.RespondTime(h, from, now)
 		if reply {
 			h.net.Send(h.id, from, TimeResp{Nonce: req.Nonce, Clock: reading})
 		}
 		return
 	}
-	h.net.Send(h.id, from, TimeResp{Nonce: req.Nonce, Clock: h.clk.Now(now)})
+	c := h.clk.Now(now)
+	h.net.Send(h.id, from, TimeResp{Nonce: req.Nonce, Clock: c})
+	if req.Span != 0 && h.Obs.SpansEnabled() {
+		// The responder's half of the exchange, under the requester's
+		// propagated id; node_time is exactly the C the requester folds into
+		// its (d, a) estimate.
+		h.Obs.EmitSpan(obs.Span{
+			ID: req.Span, Name: obs.SpanReply, Node: h.id,
+			Start: float64(now), End: float64(now),
+			Fields: obs.F("origin", float64(from)).F("node_time", float64(c)),
+		})
+	}
 }
 
 func (h *Harness) handleTimeResp(from int, resp TimeResp) {
@@ -303,7 +324,7 @@ func (h *Harness) sendPing(peer, idx int, done func(Estimate)) uint64 {
 		peer: peer, idx: idx, sentAt: h.LocalNow(), sentSim: h.sim.Now(),
 		span: span, parent: h.SpanParent, done: done,
 	}
-	h.net.Send(h.id, peer, TimeReq{Nonce: nonce})
+	h.net.Send(h.id, peer, TimeReq{Nonce: nonce, Span: span})
 	return nonce
 }
 

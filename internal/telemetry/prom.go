@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"clocksync/internal/obs"
+)
+
+// NodeMetrics is one node's /metrics page parsed back into numbers: scalar
+// samples (counters and gauges) by metric name, and full histograms by base
+// name, rebuilt bucket-for-bucket so they merge exactly like the live
+// in-process histograms do (obs.Histogram.Merge).
+type NodeMetrics struct {
+	Values map[string]float64
+	Hists  map[string]*obs.Histogram
+}
+
+func newNodeMetrics() *NodeMetrics {
+	return &NodeMetrics{
+		Values: make(map[string]float64),
+		Hists:  make(map[string]*obs.Histogram),
+	}
+}
+
+// Value returns the named scalar sample (0 when absent).
+func (m *NodeMetrics) Value(name string) float64 { return m.Values[name] }
+
+// Hist returns the named histogram, or nil.
+func (m *NodeMetrics) Hist(name string) *obs.Histogram { return m.Hists[name] }
+
+// merge folds other into m: scalars add, histograms merge by bucket.
+func (m *NodeMetrics) merge(other *NodeMetrics) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Values {
+		m.Values[k] += v
+	}
+	for k, h := range other.Hists {
+		if mine, ok := m.Hists[k]; ok {
+			mine.Merge(h)
+		} else {
+			cp := &obs.Histogram{}
+			cp.Merge(h)
+			m.Hists[k] = cp
+		}
+	}
+}
+
+// histAccum gathers one histogram's series while scanning the page.
+type histAccum struct {
+	cum      []int64 // cumulative bucket counts in exposition order (le asc, +Inf last)
+	sum      float64
+	hasSum   bool
+	hasCount bool
+}
+
+// ParseProm parses the repository's own Prometheus text exposition (the
+// format obs.WriteProm emits) for a single-node page. It is deliberately not
+// a general Prometheus parser: one label set per page (the node's own), no
+// escaping beyond what our exporter produces. Histogram series (_bucket,
+// _sum, _count) are reassembled into obs.Histograms; everything else lands
+// in Values. Derived quantile gauges (_p50/_p95/_p99) parse as plain values.
+func ParseProm(data []byte) (*NodeMetrics, error) {
+	m := newNodeMetrics()
+	hists := make(map[string]*histAccum)
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, le, hasLE, value, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: /metrics line %d: %w", lineNo, err)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket") && hasLE:
+			base := strings.TrimSuffix(name, "_bucket")
+			h := hists[base]
+			if h == nil {
+				h = &histAccum{}
+				hists[base] = h
+			}
+			_ = le // order is the exposition's own (ascending, +Inf last)
+			h.cum = append(h.cum, int64(value))
+		case strings.HasSuffix(name, "_sum"):
+			base := strings.TrimSuffix(name, "_sum")
+			h := hists[base]
+			if h == nil {
+				h = &histAccum{}
+				hists[base] = h
+			}
+			h.sum, h.hasSum = value, true
+		case strings.HasSuffix(name, "_count"):
+			base := strings.TrimSuffix(name, "_count")
+			h := hists[base]
+			if h == nil {
+				h = &histAccum{}
+				hists[base] = h
+			}
+			h.hasCount = true
+		default:
+			m.Values[name] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: scanning /metrics: %w", err)
+	}
+	for base, acc := range hists {
+		if !acc.hasSum || !acc.hasCount || len(acc.cum) == 0 {
+			return nil, fmt.Errorf("telemetry: histogram %s: incomplete series (%d buckets, sum=%v, count=%v)",
+				base, len(acc.cum), acc.hasSum, acc.hasCount)
+		}
+		if len(acc.cum) != obs.NumHistogramBuckets() {
+			return nil, fmt.Errorf("telemetry: histogram %s: %d buckets on the wire, want %d (layout mismatch between scraper and node?)",
+				base, len(acc.cum), obs.NumHistogramBuckets())
+		}
+		counts := make([]int64, len(acc.cum))
+		prev := int64(0)
+		for i, c := range acc.cum {
+			if c < prev {
+				return nil, fmt.Errorf("telemetry: histogram %s: bucket %d not cumulative (%d after %d)", base, i, c, prev)
+			}
+			counts[i] = c - prev
+			prev = c
+		}
+		h, err := obs.HistogramFromBuckets(counts, acc.sum)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: histogram %s: %w", base, err)
+		}
+		m.Hists[base] = h
+	}
+	return m, nil
+}
+
+// parsePromLine splits `name{labels} value` (labels optional), returning the
+// le label when present.
+func parsePromLine(line string) (name, le string, hasLE bool, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest[i:], '}')
+		if j < 0 {
+			return "", "", false, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels := rest[i+1 : i+j]
+		rest = strings.TrimSpace(rest[i+j+1:])
+		for _, lab := range strings.Split(labels, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(lab), "=")
+			if !ok {
+				continue
+			}
+			if k == "le" {
+				le = strings.Trim(v, `"`)
+				hasLE = true
+			}
+		}
+	} else {
+		i := strings.IndexByte(rest, ' ')
+		if i < 0 {
+			return "", "", false, 0, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	v, perr := strconv.ParseFloat(rest, 64)
+	if perr != nil {
+		return "", "", false, 0, fmt.Errorf("bad value in %q: %v", line, perr)
+	}
+	return name, le, hasLE, v, nil
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"clocksync/internal/livenet"
+	"clocksync/internal/trace"
+)
+
+// Scraper polls a fleet of nodes' ops endpoints. Zero value plus Targets is
+// ready to use; all fields are read-only after first use.
+type Scraper struct {
+	Targets []Target
+	// Client is the HTTP client for all fetches (default: 2s-timeout client;
+	// a stuck node must not stall the round past its interval).
+	Client *http.Client
+	// MaxBody caps each response body read (default 16 MiB) so one confused
+	// endpoint cannot balloon the scraper.
+	MaxBody int64
+}
+
+const (
+	defaultScrapeTimeout = 2 * time.Second
+	defaultMaxBody       = 16 << 20
+)
+
+func (s *Scraper) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: defaultScrapeTimeout}
+}
+
+func (s *Scraper) maxBody() int64 {
+	if s.MaxBody > 0 {
+		return s.MaxBody
+	}
+	return defaultMaxBody
+}
+
+// Scrape performs one concurrent round over all targets. It never fails as a
+// whole: a node that is down, times out, or serves garbage gets its Err set
+// and the rest of the fleet is unaffected.
+func (s *Scraper) Scrape(ctx context.Context) *Snapshot {
+	snap := &Snapshot{At: time.Now(), Nodes: make([]NodeScrape, len(s.Targets))}
+	var wg sync.WaitGroup
+	for i, t := range s.Targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			snap.Nodes[i] = s.scrapeOne(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return snap
+}
+
+// scrapeOne gathers one node's three surfaces. The first failing fetch
+// aborts the node's round: a half-scraped node (metrics but no statusz)
+// cannot be aligned, so partial data is treated as no data.
+func (s *Scraper) scrapeOne(ctx context.Context, t Target) NodeScrape {
+	ns := NodeScrape{Target: t}
+	fail := func(err error) NodeScrape {
+		ns.Err = err
+		ns.Metrics, ns.Status, ns.Spans = nil, nil, nil
+		ns.At = time.Now()
+		return ns
+	}
+
+	body, err := s.fetch(ctx, t, "/metrics")
+	if err != nil {
+		return fail(err)
+	}
+	if ns.Metrics, err = ParseProm(body); err != nil {
+		return fail(err)
+	}
+
+	body, err = s.fetch(ctx, t, "/statusz")
+	if err != nil {
+		return fail(err)
+	}
+	var st livenet.Statusz
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fail(fmt.Errorf("telemetry: node %d /statusz: %w", t.Node, err))
+	}
+	if st.ID != t.Node {
+		return fail(fmt.Errorf("telemetry: target %s claims node id %d, configured as %d", t.Addr, st.ID, t.Node))
+	}
+	ns.Status = &st
+
+	body, err = s.fetch(ctx, t, "/spanz")
+	if err != nil {
+		return fail(err)
+	}
+	if ns.Spans, err = trace.ReadJSON(body); err != nil {
+		return fail(fmt.Errorf("telemetry: node %d /spanz: %w", t.Node, err))
+	}
+
+	ns.At = time.Now()
+	return ns
+}
+
+func (s *Scraper) fetch(ctx context.Context, t Target, path string) ([]byte, error) {
+	url := "http://" + t.Addr + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: node %d: %w", t.Node, err)
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: node %d %s: %w", t.Node, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("telemetry: node %d %s: HTTP %d", t.Node, path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, s.maxBody()))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: node %d %s: reading body: %w", t.Node, path, err)
+	}
+	return body, nil
+}

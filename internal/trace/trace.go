@@ -134,3 +134,15 @@ func Read(r io.Reader) ([]Event, error) {
 	}
 	return out, nil
 }
+
+// ReadJSON parses a JSON *array* of events — the shape a live node's
+// GET /spanz endpoint serves (obs.MarshalSpans) — into the same Event records
+// the JSONL reader produces, so downstream consumers (conformance, tracestat)
+// need not care which transport delivered the trace.
+func ReadJSON(data []byte) ([]Event, error) {
+	var out []Event
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("trace: parsing event array: %w", err)
+	}
+	return out, nil
+}
