@@ -56,6 +56,55 @@ func TestRunScenarioOptions(t *testing.T) {
 	}
 }
 
+// TestRunScenarioScaleOptions exercises the scaling surface: WithShards runs
+// the scenario on the sharded event queue and WithPeerSampling switches to
+// sparse estimation, without mutating the caller's Scenario — and the
+// sharded run's report matches the serial reference exactly (the shard-count
+// determinism contract, exposed through the public API).
+func TestRunScenarioScaleOptions(t *testing.T) {
+	s := smallScenario()
+	s.N, s.F = 16, 2
+
+	serial, err := clocksync.RunScenario(s, clocksync.WithPeerSampling(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SamplePeers != 0 || s.Shards != 0 {
+		t.Error("RunScenario options mutated the caller's Scenario")
+	}
+
+	full, err := clocksync.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MsgsSent >= full.MsgsSent {
+		t.Errorf("sampling did not cut traffic: %d sampled vs %d full msgs",
+			serial.MsgsSent, full.MsgsSent)
+	}
+
+	// An unsafe subset size must surface as an error, not a panic: with
+	// k < 2f+1 the convergence function could not trim f faulty readings
+	// from both sides.
+	if _, err := clocksync.RunScenario(s, clocksync.WithPeerSampling(3)); err == nil {
+		t.Error("RunScenario accepted SamplePeers 3 < 2f+1 = 5")
+	}
+
+	// WithShards(1) is the sharded engine's serial reference; any shard
+	// count must produce identical observables.
+	ref, err := clocksync.RunScenario(s, clocksync.WithPeerSampling(7), clocksync.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := clocksync.RunScenario(s, clocksync.WithPeerSampling(7), clocksync.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Report.MaxDeviation != sharded.Report.MaxDeviation || ref.MsgsSent != sharded.MsgsSent {
+		t.Errorf("shard counts disagree: dev %v/%v, msgs %d/%d",
+			ref.Report.MaxDeviation, sharded.Report.MaxDeviation, ref.MsgsSent, sharded.MsgsSent)
+	}
+}
+
 // TestRunScenarioWithSpanSink exercises the causal-tracing surface: a run
 // with a span sink produces a round span tree whose estimate and adjust
 // spans parent back to round spans, and quantiles come out of the shared

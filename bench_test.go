@@ -99,6 +99,10 @@ func BenchmarkE20NetworkOutage(b *testing.B) {
 	benchExperiment(b, experiments.E20NetworkOutage)
 }
 
+func BenchmarkE21SamplingScaling(b *testing.B) {
+	benchExperiment(b, experiments.E21SamplingScaling)
+}
+
 // Component microbenchmarks — the protocol's hot paths. The bodies live in
 // internal/simbench so cmd/benchsim can run the same code when recording the
 // BENCH_sim.json baseline; simbench's tests pin the alloc budgets.
@@ -117,6 +121,18 @@ func BenchmarkClusterMinute(b *testing.B) {
 	for _, n := range []int{7, 16, 64, 256} {
 		n := n
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) { simbench.ClusterMinute(b, n) })
+	}
+}
+
+// BenchmarkClusterMinuteLarge measures the planet-scale regime — fixed
+// fault budget f=10, estimation sampled at k=31 peers per round, event queue
+// sharded 8 ways — at the sizes where the serial full mesh would be
+// quadratically unaffordable. See docs/PERFORMANCE.md, "Scaling the
+// simulator".
+func BenchmarkClusterMinuteLarge(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) { simbench.ClusterMinuteLarge(b, n, 10, 31, 8) })
 	}
 }
 

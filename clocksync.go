@@ -139,6 +139,30 @@ func WithTrace(w io.Writer) RunOption {
 	return func(s *Scenario) { s.TraceWriter = w }
 }
 
+// WithPeerSampling runs the scenario in sparse-estimation mode: each node
+// estimates against a seeded random k-of-n peer subset per round instead of
+// the full mesh, cutting estimation traffic from O(n²) to O(n·k) messages
+// per round. k must be at least 2f+1 so a sampled round can still trim f
+// faulty readings from both sides; the Theorem 5 envelope then holds with n
+// read as k (the checker accounts for this automatically). Subsets are drawn
+// from the scenario seed, so sampled runs replay bit-for-bit.
+func WithPeerSampling(k int) RunOption {
+	return func(s *Scenario) { s.SamplePeers = k }
+}
+
+// WithShards runs the simulation on a sharded event queue: nodes are
+// partitioned across shards whose queues execute concurrently inside
+// conservative lookahead windows bounded by the delay model's minimum link
+// delay. Observable results are independent of the shard count — n=1 is the
+// serial reference — so sharding is purely a wall-clock optimization for
+// large n. Requires a delay model with a positive minimum delay
+// (network.MinBounder); incompatible with serial-only surfaces (observers,
+// tracing, the online checker). See docs/PERFORMANCE.md, "Scaling the
+// simulator".
+func WithShards(n int) RunOption {
+	return func(s *Scenario) { s.Shards = n }
+}
+
 // RunScenario executes a simulation. Options apply to a copy of s, so a
 // Scenario value can be reused across calls with different observers.
 func RunScenario(s Scenario, opts ...RunOption) (*Result, error) {

@@ -10,6 +10,9 @@
 //	benchsim -update            # regenerate the committed baseline
 //	                            # (BENCH_sim.json in the working directory),
 //	                            # like tracestat -update
+//	benchsim -bench ClusterMinute/n256 -cpuprofile cpu.out -memprofile mem.out
+//	                            # profile one benchmark; inspect with
+//	                            # `go tool pprof` (see docs/PERFORMANCE.md)
 package main
 
 import (
@@ -17,6 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
 
 	"clocksync/internal/simbench"
@@ -34,11 +40,18 @@ type result struct {
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	update := flag.Bool("update", false, "regenerate the committed baseline BENCH_sim.json")
+	match := flag.String("bench", "", "run only benchmarks whose name contains this substring")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected benchmarks here")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the selected benchmarks here")
 	flag.Parse()
 	if *update {
 		*out = "BENCH_sim.json"
 	}
 
+	// The two large rows run the planet-scale regime: fixed fault budget
+	// f=10, estimation sampled at k=31 ≥ 2f+1 peers per round, event queue
+	// sharded 8 ways. Serial full-mesh simulation would be quadratically
+	// unaffordable at these sizes.
 	benches := []struct {
 		name string
 		fn   func(*testing.B)
@@ -49,10 +62,28 @@ func main() {
 		{"ClusterMinute/n16", func(b *testing.B) { simbench.ClusterMinute(b, 16) }},
 		{"ClusterMinute/n64", func(b *testing.B) { simbench.ClusterMinute(b, 64) }},
 		{"ClusterMinute/n256", func(b *testing.B) { simbench.ClusterMinute(b, 256) }},
+		{"ClusterMinute/n1024", func(b *testing.B) { simbench.ClusterMinuteLarge(b, 1024, 10, 31, 8) }},
+		{"ClusterMinute/n4096", func(b *testing.B) { simbench.ClusterMinuteLarge(b, 4096, 10, 31, 8) }},
 		{"CampaignThroughput", simbench.CampaignThroughput},
+	}
+	if *cpuprofile != "" {
+		fh, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	var results []result
 	for _, bm := range benches {
+		if *match != "" && !strings.Contains(bm.name, *match) {
+			continue
+		}
 		r := testing.Benchmark(bm.fn)
 		results = append(results, result{
 			Name:        bm.name,
@@ -63,6 +94,20 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "%-20s %14.2f ns/op %10d B/op %8d allocs/op\n",
 			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	if *memprofile != "" {
+		fh, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		runtime.GC() // settle live heap so alloc_space dominates the profile
+		if err := pprof.WriteHeapProfile(fh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsim:", err)
+			os.Exit(1)
+		}
 	}
 
 	w := os.Stdout

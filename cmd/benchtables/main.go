@@ -53,6 +53,7 @@ func main() {
 		{"E18", experiments.E18ProactiveSecurity},
 		{"E19", experiments.E19TightnessProbe},
 		{"E20", experiments.E20NetworkOutage},
+		{"E21", experiments.E21SamplingScaling},
 	}
 
 	if *list {

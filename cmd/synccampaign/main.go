@@ -61,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 		rho      = fs.Float64("rho", 1e-4, "hardware drift bound ρ")
 		drop     = fs.Float64("drop", 0, "max message drop probability (out-of-model; drawn per run)")
 		corrupts = fs.Int("corruptions", 4, "max corruptions per generated schedule")
+		samplek  = fs.Int("sample-peers", 0, "estimate against a seeded random k-of-n peer subset per round (0 = full mesh; k must be ≥ 2f+1)")
 		workers  = fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		shrink   = fs.Bool("shrink", false, "minimize each failing schedule to a smallest reproducer")
 		conform  = fs.Bool("conform", false, "replay every run's span stream through the abstract Sync-round spec (refinement check; see docs/CONFORMANCE.md)")
@@ -71,6 +72,9 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *samplek > 0 && *samplek < 2*(*f)+1 {
+		return fmt.Errorf("-sample-peers %d < 2f+1 = %d: a sampled round could not trim f faulty readings from both sides", *samplek, 2*(*f)+1)
 	}
 
 	if *metrics != "" {
@@ -103,6 +107,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxCorruptions: *corrupts,
 		Workers:        *workers,
 		Conform:        *conform,
+		SamplePeers:    *samplek,
 	}
 	if *mutate {
 		cfg.Mutate = func(c *core.Config, _ scenario.BuildContext) { c.F = 0 }

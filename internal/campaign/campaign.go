@@ -55,8 +55,19 @@ type Config struct {
 	// each run draws its count uniformly from [0, MaxCorruptions].
 	MaxCorruptions int
 
-	// Workers bounds concurrent runs (default GOMAXPROCS).
+	// Workers caps this campaign's concurrency (default GOMAXPROCS). The
+	// actual helper goroutines come from the process-wide simulation worker
+	// pool (des.AcquireWorkers), shared with scenario.Sweep and the sharded
+	// simulator, so concurrent campaigns and sweeps compose to at most
+	// GOMAXPROCS simulation goroutines instead of multiplying.
 	Workers int
+
+	// SamplePeers, when positive, runs every generated scenario in
+	// sparse-estimation mode (scenario.Scenario.SamplePeers): each node pings
+	// a seeded random SamplePeers-of-n subset per round. Must be ≥ 2F+1. The
+	// sampled campaign the CI runs drives exactly this knob through the
+	// online Theorem 5 checker.
+	SamplePeers int
 
 	// Mutate, when non-nil, deliberately alters every node's protocol
 	// configuration (via scenario.SyncBuilder). Mutation smoke tests use it
@@ -166,63 +177,69 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Runs: cfg.Runs}
 	outcomes := make([]runOutcome, cfg.Runs)
 
-	workers := cfg.Workers
-	if workers > cfg.Runs {
-		workers = cfg.Runs
-	}
 	var next atomic.Int64
+	work := func() {
+		sim := des.New(0) // reset to each run's seed by scenario.Run
+		var col *conformance.Collector
+		if cfg.Conform {
+			col = &conformance.Collector{}
+		}
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= cfg.Runs {
+				return
+			}
+			seed := cfg.Seed + int64(i)
+			s := cfg.Scenario(seed)
+			s.ReuseSim = sim
+			if col != nil {
+				col.Reset()
+				s.EventSink = col
+				s.SpanSink = col
+			}
+			r, err := scenario.Run(s)
+			if err != nil {
+				outcomes[i].err = fmt.Errorf("seed %d: %w", seed, err)
+				continue
+			}
+			outcomes[i].completed = true
+			if len(r.Violations) > 0 {
+				outcomes[i].schedule = r.Scenario.Adversary
+				outcomes[i].violations = r.Violations
+			}
+			if col != nil {
+				rep, err := conformance.Check(col.Events(), conformance.Config{
+					F:      cfg.F,
+					WayOff: float64(r.Scenario.WayOff),
+				})
+				if err != nil {
+					outcomes[i].err = fmt.Errorf("seed %d: conformance: %w", seed, err)
+					continue
+				}
+				outcomes[i].rounds = rep.Stats.Rounds
+				if len(rep.Violations) > 0 {
+					outcomes[i].schedule = r.Scenario.Adversary
+					outcomes[i].conform = rep.Violations
+				}
+			}
+		}
+	}
+	maxHelpers := cfg.Workers - 1
+	if maxHelpers > cfg.Runs-1 {
+		maxHelpers = cfg.Runs - 1
+	}
+	helpers := des.AcquireWorkers(maxHelpers)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < helpers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sim := des.New(0) // reset to each run's seed by scenario.Run
-			var col *conformance.Collector
-			if cfg.Conform {
-				col = &conformance.Collector{}
-			}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= cfg.Runs {
-					return
-				}
-				seed := cfg.Seed + int64(i)
-				s := cfg.Scenario(seed)
-				s.ReuseSim = sim
-				if col != nil {
-					col.Reset()
-					s.EventSink = col
-					s.SpanSink = col
-				}
-				r, err := scenario.Run(s)
-				if err != nil {
-					outcomes[i].err = fmt.Errorf("seed %d: %w", seed, err)
-					continue
-				}
-				outcomes[i].completed = true
-				if len(r.Violations) > 0 {
-					outcomes[i].schedule = r.Scenario.Adversary
-					outcomes[i].violations = r.Violations
-				}
-				if col != nil {
-					rep, err := conformance.Check(col.Events(), conformance.Config{
-						F:      cfg.F,
-						WayOff: float64(r.Scenario.WayOff),
-					})
-					if err != nil {
-						outcomes[i].err = fmt.Errorf("seed %d: conformance: %w", seed, err)
-						continue
-					}
-					outcomes[i].rounds = rep.Stats.Rounds
-					if len(rep.Violations) > 0 {
-						outcomes[i].schedule = r.Scenario.Adversary
-						outcomes[i].conform = rep.Violations
-					}
-				}
-			}
+			work()
 		}()
 	}
+	work() // the caller is the implicit first worker
 	wg.Wait()
+	des.ReleaseWorkers(helpers)
 
 	var errs []error
 	for i, o := range outcomes {

@@ -23,25 +23,26 @@ func (c Config) Scenario(seed int64) scenario.Scenario {
 	c = c.withDefaults()
 	rng := rand.New(rand.NewSource(seed*0x9E3779B9 + 0x7F4A7C15))
 	s := scenario.Scenario{
-		Name:       "campaign",
-		Seed:       seed,
-		N:          c.N,
-		F:          c.F,
-		Duration:   c.Duration,
-		Theta:      c.Theta,
-		Rho:        c.Rho,
-		SyncInt:    c.SyncInt,
-		Delay:      c.randomDelay(rng),
+		Name:     "campaign",
+		Seed:     seed,
+		N:        c.N,
+		F:        c.F,
+		Duration: c.Duration,
+		Theta:    c.Theta,
+		Rho:      c.Rho,
+		SyncInt:  c.SyncInt,
+		Delay:    c.randomDelay(rng),
 		// Pin the estimation timeout to the campaign-level 2δ rather than the
 		// drawn model's own bound: a ConstantDelay model has Bound() equal to
 		// its every sample, so MaxWait = 2·Bound() would make each round trip
 		// tie its own timeout exactly — and the simulator breaks same-instant
 		// ties toward the earlier-scheduled timeout, starving every
 		// estimation round.
-		MaxWait:    2 * c.Delta,
-		DropProb:   c.DropProb * rng.Float64(),
-		InitSpread: simtime.Duration(rng.Float64() * float64(c.InitSpread)),
-		Check:      true,
+		MaxWait:     2 * c.Delta,
+		DropProb:    c.DropProb * rng.Float64(),
+		InitSpread:  simtime.Duration(rng.Float64() * float64(c.InitSpread)),
+		SamplePeers: c.SamplePeers,
+		Check:       true,
 	}
 	s.Adversary = c.schedule(rng)
 	if c.Mutate != nil {

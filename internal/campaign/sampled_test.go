@@ -1,0 +1,36 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSampledCampaign drives the sparse-estimation mode through the full
+// campaign machinery: randomized delay models, drop rates and mobile
+// corruption schedules, every run asserted against the Theorem 5 envelope
+// by the online checker. N=16 with k=7 means each round really samples
+// (7 < 15 peers) while keeping k ≥ 2F+1 = 5.
+func TestSampledCampaign(t *testing.T) {
+	res, err := Run(Config{N: 16, F: 2, SamplePeers: 7, Runs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 10 {
+		t.Fatalf("completed %d/10 runs", res.Completed)
+	}
+	if len(res.Failures) > 0 {
+		t.Fatalf("sampled runs violated checked invariants: %+v", res.Failures)
+	}
+}
+
+// TestSampledCampaignRejectsUnsafeK: k below 2F+1 cannot trim f from both
+// sides; the configuration must fail loudly, not run quietly wrong.
+func TestSampledCampaignRejectsUnsafeK(t *testing.T) {
+	res, err := Run(Config{N: 16, F: 2, SamplePeers: 3, Runs: 1, Seed: 1})
+	if err == nil {
+		t.Fatalf("unsafe sampling config ran: res=%+v", res)
+	}
+	if !strings.Contains(err.Error(), "2f+1") {
+		t.Errorf("error does not name the 2f+1 floor: %v", err)
+	}
+}

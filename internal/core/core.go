@@ -75,6 +75,18 @@ type Config struct {
 	// node's own adjustments, so a stale pre-adjustment offset can never be
 	// applied twice.
 	CacheInvalidateOnAdjust bool
+
+	// SamplePeers, when positive and below the peer count, switches the node
+	// to sparse estimation: each round pings a seeded random SamplePeers-of-n
+	// subset instead of the full mesh, cutting a round from O(n²) to O(n·k)
+	// messages at the cost of a wider accuracy envelope (E21 measures the
+	// trade-off). The subset plus the self-estimate must still let the
+	// convergence function trim f from both sides, so SamplePeers ≥ 2F+1 if
+	// set. Zero keeps the paper's full-mesh default.
+	SamplePeers int
+	// SampleSeed keys the per-(node, round) subset draws; runs with the same
+	// seed replay identical sampling schedules.
+	SampleSeed int64
 }
 
 // Validate rejects configurations that violate §3.2.
@@ -93,6 +105,10 @@ func (c Config) Validate() error {
 	}
 	if c.FirstSync < 0 {
 		return fmt.Errorf("core: negative FirstSync %v", c.FirstSync)
+	}
+	if c.SamplePeers > 0 && c.SamplePeers < 2*c.F+1 {
+		return fmt.Errorf("core: SamplePeers %d < 2f+1 = %d — the trimmed extremes would be unsafe",
+			c.SamplePeers, 2*c.F+1)
 	}
 	return nil
 }
@@ -251,6 +267,10 @@ type Node struct {
 	// cache is non-nil in the §3.1 cached-estimation variant.
 	cache *protocol.EstimateCache
 
+	// sampler is non-nil in the sparse-estimation mode (cfg.SamplePeers):
+	// it draws each round's peer subset.
+	sampler *protocol.PeerSampler
+
 	// Round-tracing state: the open round span and its start instant. Only
 	// one round is in flight per node, so plain fields suffice.
 	roundSpan  obs.SpanID
@@ -277,6 +297,9 @@ func New(h *protocol.Harness, cfg Config, peers []int) *Node {
 		panic(err)
 	}
 	n := &Node{h: h, cfg: cfg, peers: append([]int(nil), peers...)}
+	if cfg.SamplePeers > 0 && cfg.SamplePeers < len(n.peers) {
+		n.sampler = protocol.NewPeerSampler(n.peers, cfg.SamplePeers, cfg.SampleSeed, h.ID())
+	}
 	n.tickCB = n.tick
 	n.finishCB = n.finish
 	return n
@@ -334,7 +357,11 @@ func (n *Node) tick() {
 		n.finish(n.cache.GetAll())
 		return
 	}
-	n.h.EstimateAll(n.peers, n.cfg.MaxWait, n.finishCB)
+	peers := n.peers
+	if n.sampler != nil {
+		peers = n.sampler.Sample()
+	}
+	n.h.EstimateAll(peers, n.cfg.MaxWait, n.finishCB)
 }
 
 // finish applies the convergence function to a completed estimation round.

@@ -1,0 +1,65 @@
+package des
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The process-wide simulation worker budget. Every component that fans
+// simulation work across goroutines — scenario.Sweep, campaign.Run, and
+// ShardedSim's window execution — draws its *extra* goroutines from this one
+// pool, sized GOMAXPROCS−1 (the calling goroutine itself is the implicit
+// first worker). Because the pool is shared and acquisition is non-blocking,
+// nested parallelism composes instead of multiplying: a sweep whose workers
+// each run a sharded simulator cannot oversubscribe the machine — once the
+// sweep has drained the pool, each sharded run simply executes its shards
+// inline on its caller's goroutine. TestWorkerBudgetComposes pins the
+// resulting ceiling of GOMAXPROCS concurrent simulation goroutines per entry
+// point.
+var (
+	workerPoolOnce sync.Once
+	workerPoolCh   chan struct{}
+)
+
+func workerPool() chan struct{} {
+	workerPoolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0) - 1
+		if n < 0 {
+			n = 0
+		}
+		workerPoolCh = make(chan struct{}, n)
+		for i := 0; i < n; i++ {
+			workerPoolCh <- struct{}{}
+		}
+	})
+	return workerPoolCh
+}
+
+// AcquireWorkers takes up to max helper tokens from the process-wide
+// simulation worker pool without blocking and returns how many it got —
+// possibly zero, in which case the caller runs its work inline. Every token
+// must be returned with ReleaseWorkers.
+func AcquireWorkers(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	pool := workerPool()
+	got := 0
+	for got < max {
+		select {
+		case <-pool:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ReleaseWorkers returns n helper tokens to the pool.
+func ReleaseWorkers(n int) {
+	pool := workerPool()
+	for i := 0; i < n; i++ {
+		pool <- struct{}{}
+	}
+}

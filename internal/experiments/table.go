@@ -199,6 +199,7 @@ func All(quick bool) []Table {
 		E18ProactiveSecurity(quick),
 		E19TightnessProbe(quick),
 		E20NetworkOutage(quick),
+		E21SamplingScaling(quick),
 	}
 }
 

@@ -45,6 +45,11 @@ type Recorder struct {
 	adjusts        []int
 	sampleOnAdjust bool
 	onSample       func(Sample)
+
+	// shardAdj is non-nil on sharded runs: per-node adjust buffers, each
+	// written only by the shard goroutine that owns the node, merged into
+	// adjustLog by FinalizeSharded after the run.
+	shardAdj [][]adjustRecord
 }
 
 type adjustRecord struct {
@@ -74,11 +79,27 @@ func NewRecorder(sim *des.Sim, clocks []*clock.Local, sched adversary.Schedule, 
 // can miss a deviation spike that appears and is corrected between two
 // samples; adjustment instants are exactly where biases change
 // discontinuously, so sampling there closes the gap.
-func (r *Recorder) SampleOnAdjust(enable bool) { r.sampleOnAdjust = enable }
+func (r *Recorder) SampleOnAdjust(enable bool) {
+	if r.shardAdj != nil {
+		return // sharded runs sample only at barriers; see EnableSharded
+	}
+	r.sampleOnAdjust = enable
+}
 
 // AdjustHook returns a function suitable for protocol.Harness.OnAdjust for
 // processor id.
 func (r *Recorder) AdjustHook(id int) func(simtime.Time, simtime.Duration) {
+	if r.shardAdj != nil {
+		// Sharded run: node id's adjustments happen on exactly one shard
+		// goroutine, so its private buffer needs no lock. No adjust-triggered
+		// sampling either — a consistent cross-shard snapshot only exists at
+		// barriers, and BuildReport's adjustment aggregates are
+		// order-independent, so the merged log is equivalent.
+		return func(at simtime.Time, delta simtime.Duration) {
+			r.adjusts[id]++
+			r.shardAdj[id] = append(r.shardAdj[id], adjustRecord{at: at, node: id, delta: delta})
+		}
+	}
 	return func(at simtime.Time, delta simtime.Duration) {
 		r.adjusts[id]++
 		r.adjustLog = append(r.adjustLog, adjustRecord{at: at, node: id, delta: delta})
@@ -86,6 +107,36 @@ func (r *Recorder) AdjustHook(id int) func(simtime.Time, simtime.Duration) {
 			r.TakeSample(at)
 		}
 	}
+}
+
+// EnableSharded switches the recorder to sharded mode before hooks are
+// handed out: adjustments land in per-node buffers (race-free by node
+// ownership) and SampleOnAdjust is ignored — deviation sampling happens only
+// on the periodic ticker, which the sharded scenario runner schedules on the
+// global barrier queue where every shard is quiesced. Call FinalizeSharded
+// after the run, before BuildReport.
+func (r *Recorder) EnableSharded() {
+	r.shardAdj = make([][]adjustRecord, len(r.clocks))
+	r.sampleOnAdjust = false
+}
+
+// FinalizeSharded merges the per-node adjustment buffers into the main log,
+// ordered by (instant, node) — a deterministic, partition-independent order.
+func (r *Recorder) FinalizeSharded() {
+	if r.shardAdj == nil {
+		return
+	}
+	for _, buf := range r.shardAdj {
+		r.adjustLog = append(r.adjustLog, buf...)
+	}
+	sort.Slice(r.adjustLog, func(i, j int) bool {
+		a, b := r.adjustLog[i], r.adjustLog[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.node < b.node
+	})
+	r.shardAdj = nil
 }
 
 // OnSample registers a hook invoked with every recorded sample (periodic and

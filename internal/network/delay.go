@@ -19,6 +19,25 @@ type DelayModel interface {
 	Bound() simtime.Duration
 }
 
+// MinBounder is an optional DelayModel refinement reporting a guaranteed
+// lower latency bound: every Sample is ≥ MinBound. The sharded simulator
+// uses it as the conservative lookahead — the window within which shards may
+// run in parallel without missing a cross-shard delivery. Models that cannot
+// promise a positive minimum simply omit the method; MinDelay then reports
+// zero and sharded runs fall back to a single serial shard.
+type MinBounder interface {
+	MinBound() simtime.Duration
+}
+
+// MinDelay returns the model's guaranteed minimum latency, or zero when the
+// model does not implement MinBounder.
+func MinDelay(m DelayModel) simtime.Duration {
+	if mb, ok := m.(MinBounder); ok {
+		return mb.MinBound()
+	}
+	return 0
+}
+
 // ConstantDelay delivers every message after exactly D.
 type ConstantDelay struct {
 	D simtime.Duration
@@ -29,6 +48,9 @@ func (c ConstantDelay) Sample(_, _ int, _ *rand.Rand) simtime.Duration { return 
 
 // Bound implements DelayModel.
 func (c ConstantDelay) Bound() simtime.Duration { return c.D }
+
+// MinBound implements MinBounder.
+func (c ConstantDelay) MinBound() simtime.Duration { return c.D }
 
 // UniformDelay samples latencies uniformly from [Min, Max].
 type UniformDelay struct {
@@ -50,6 +72,9 @@ func (u UniformDelay) Sample(_, _ int, rng *rand.Rand) simtime.Duration {
 
 // Bound implements DelayModel.
 func (u UniformDelay) Bound() simtime.Duration { return u.Max }
+
+// MinBound implements MinBounder.
+func (u UniformDelay) MinBound() simtime.Duration { return u.Min }
 
 // AsymmetricDelay gives each direction of each link its own uniform range:
 // messages from a lower-numbered to a higher-numbered processor take
@@ -74,6 +99,11 @@ func (a AsymmetricDelay) Bound() simtime.Duration {
 	return simtime.MaxDuration(a.FwdMax, a.RevMax)
 }
 
+// MinBound implements MinBounder.
+func (a AsymmetricDelay) MinBound() simtime.Duration {
+	return simtime.MinDuration(a.FwdMin, a.RevMin)
+}
+
 // SpikyDelay models a network whose latency is usually Base-ish but
 // occasionally spikes: with probability SpikeProb the sample gets an extra
 // uniform [0, SpikeMax] added. Used to evaluate the min-RTT-of-k estimation
@@ -96,12 +126,20 @@ func (s SpikyDelay) Sample(from, to int, rng *rand.Rand) simtime.Duration {
 // Bound implements DelayModel.
 func (s SpikyDelay) Bound() simtime.Duration { return s.Base.Max + s.SpikeMax }
 
+// MinBound implements MinBounder.
+func (s SpikyDelay) MinBound() simtime.Duration { return s.Base.Min }
+
 // DelayFunc adapts a function to the DelayModel interface; BoundVal reports
-// its worst case.
+// its worst case and MinVal its guaranteed minimum (leave MinVal zero when
+// the function has no positive floor).
 type DelayFunc struct {
 	Fn       func(from, to int, rng *rand.Rand) simtime.Duration
 	BoundVal simtime.Duration
+	MinVal   simtime.Duration
 }
+
+// MinBound implements MinBounder.
+func (d DelayFunc) MinBound() simtime.Duration { return d.MinVal }
 
 // Sample implements DelayModel.
 func (d DelayFunc) Sample(from, to int, rng *rand.Rand) simtime.Duration {

@@ -60,6 +60,10 @@ type Network struct {
 	// plus payload boxing — no closure allocation. Safe without locking: the
 	// simulator, and with it every Send and delivery, is single-threaded.
 	freeEnv []*envelope
+
+	// sh is non-nil when the network runs over a sharded simulator (see
+	// sharded.go); the serial path above is untouched in that mode.
+	sh *sharding
 }
 
 // envelope is one in-flight message plus its reusable delivery closure.
@@ -107,6 +111,10 @@ func (n *Network) Send(from, to int, payload any) {
 	}
 	n.counters[from].Sent++
 	n.counters[from].Bytes += size
+	if n.sh != nil {
+		n.sendSharded(from, to, payload)
+		return
+	}
 	if n.Partitioned != nil && n.Partitioned(from, to, n.sim.Now()) {
 		n.counters[from].Dropped++
 		return

@@ -1,0 +1,90 @@
+package protocol
+
+import "testing"
+
+func TestPeerSamplerSubset(t *testing.T) {
+	peers := make([]int, 20)
+	for i := range peers {
+		peers[i] = i + 100 // distinct ids, offset so index bugs show
+	}
+	s := NewPeerSampler(peers, 7, 42, 3)
+	seen := make(map[int]int)
+	for round := 0; round < 200; round++ {
+		got := s.Sample()
+		if len(got) != 7 {
+			t.Fatalf("round %d: sample size %d, want 7", round, len(got))
+		}
+		inRound := make(map[int]bool, len(got))
+		for _, p := range got {
+			if p < 100 || p >= 120 {
+				t.Fatalf("round %d: sampled %d outside universe", round, p)
+			}
+			if inRound[p] {
+				t.Fatalf("round %d: duplicate peer %d in %v", round, p, got)
+			}
+			inRound[p] = true
+			seen[p]++
+		}
+	}
+	// Rotation: every peer of the universe must be covered over 200 rounds.
+	for _, p := range peers {
+		if seen[p] == 0 {
+			t.Errorf("peer %d never sampled in 200 rounds", p)
+		}
+	}
+}
+
+func TestPeerSamplerDeterminism(t *testing.T) {
+	peers := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	a := NewPeerSampler(peers, 4, 7, 2)
+	b := NewPeerSampler(peers, 4, 7, 2)
+	other := NewPeerSampler(peers, 4, 7, 3) // different node → different stream
+	differs := false
+	for round := 0; round < 50; round++ {
+		x, y, z := a.Sample(), b.Sample(), other.Sample()
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("round %d: same key diverged: %v vs %v", round, x, y)
+			}
+		}
+		if len(x) == len(z) {
+			for i := range x {
+				if x[i] != z[i] {
+					differs = true
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("nodes 2 and 3 drew identical subsets for 50 rounds")
+	}
+}
+
+func TestPeerSamplerFullMeshFallback(t *testing.T) {
+	peers := []int{1, 2, 3}
+	for _, k := range []int{0, -1, 3, 10} {
+		s := NewPeerSampler(peers, k, 1, 0)
+		got := s.Sample()
+		if len(got) != len(peers) {
+			t.Fatalf("k=%d: sample %v, want full universe", k, got)
+		}
+		for i := range peers {
+			if got[i] != peers[i] {
+				t.Fatalf("k=%d: sample %v, want %v", k, got, peers)
+			}
+		}
+	}
+}
+
+func TestPeerSamplerNoAllocsSteadyState(t *testing.T) {
+	peers := make([]int, 64)
+	for i := range peers {
+		peers[i] = i
+	}
+	s := NewPeerSampler(peers, 13, 9, 1)
+	s.Sample() // warm
+	allocs := testing.AllocsPerRun(100, func() { s.Sample() })
+	if allocs > 0 {
+		t.Fatalf("Sample allocates %.1f objects/op in steady state", allocs)
+	}
+}

@@ -124,6 +124,30 @@ type Scenario struct {
 	// and Result.Sim aliases it.
 	ReuseSim *des.Sim
 
+	// Shards, when ≥ 1, runs the scenario on the conservative-lookahead
+	// parallel simulator (des.ShardedSim) with that many shards; the
+	// lookahead is the delay model's MinBound. Shards == 1 exercises the
+	// sharded machinery serially — the reference run the shard-count
+	// determinism contract is stated against: observable results (reports,
+	// stats, traffic totals) are identical for any shard count under
+	// continuous delay/drift distributions and adversary-free schedules.
+	// A model without a positive MinBound leaves no safe window, so the run
+	// silently collapses to one shard. Sharded runs reject the serial-only
+	// observability surfaces (Observer/EventSink/SpanSink/TraceWriter/Check):
+	// their sinks are not thread-safe. Zero keeps the serial engine.
+	Shards int
+	// ReuseSharded is ReuseSim's analogue for sharded runs: the simulator is
+	// Reset to Seed and reused; its shard count and lookahead (fixed at
+	// construction) take precedence over Shards.
+	ReuseSharded *des.ShardedSim
+
+	// SamplePeers, when positive, runs Sync in sparse-estimation mode: each
+	// node pings a seeded random SamplePeers-of-n subset per round instead of
+	// the full mesh (core.Config.SamplePeers; keyed by Seed). Cuts rounds
+	// from O(n²) to O(n·k) messages at the price of a wider deviation
+	// envelope — E21 measures the trade-off.
+	SamplePeers int
+
 	// Check attaches the online invariant checker (internal/check) to the
 	// run: every Sync round is asserted against the Theorem 5 deviation
 	// envelope, the per-step discontinuity bound and the Equation 3 accuracy
@@ -188,6 +212,23 @@ func (s *Scenario) Params() analysis.Params {
 	}
 }
 
+// shardedIncompat rejects scenario surfaces the parallel engine cannot
+// serve: observability sinks, tracing and the online checker are all
+// single-threaded consumers wired into shard-local hot paths.
+func (s *Scenario) shardedIncompat() error {
+	switch {
+	case s.Observer != nil || s.EventSink != nil || s.SpanSink != nil:
+		return fmt.Errorf("scenario %q: observability sinks are not supported on sharded runs", s.Name)
+	case s.TraceWriter != nil:
+		return fmt.Errorf("scenario %q: trace writing is not supported on sharded runs", s.Name)
+	case s.Check:
+		return fmt.Errorf("scenario %q: the online checker is not supported on sharded runs (run the sampled campaign serially instead)", s.Name)
+	case s.ReuseSim != nil:
+		return fmt.Errorf("scenario %q: ReuseSim is a serial simulator; use ReuseSharded", s.Name)
+	}
+	return nil
+}
+
 // Run executes the scenario and returns its result.
 func Run(s Scenario) (*Result, error) {
 	if s.N < 1 {
@@ -237,16 +278,39 @@ func Run(s Scenario) (*Result, error) {
 			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}
-
-	sim := s.ReuseSim
-	if sim != nil {
-		sim.Reset(s.Seed)
-	} else {
-		sim = des.New(s.Seed)
+	if s.SamplePeers > 0 && s.SamplePeers < 2*s.F+1 {
+		return nil, fmt.Errorf("scenario %q: SamplePeers %d < 2f+1 = %d — the trimmed extremes would be unsafe",
+			s.Name, s.SamplePeers, 2*s.F+1)
 	}
-	net := network.New(sim, s.Topology, s.Delay)
+
+	var ps *des.ShardedSim
+	var sim *des.Sim
+	var net *network.Network
+	var rng *rand.Rand
+	if s.Shards >= 1 || s.ReuseSharded != nil {
+		if err := s.shardedIncompat(); err != nil {
+			return nil, err
+		}
+		ps = s.ReuseSharded
+		if ps != nil {
+			ps.Reset(s.Seed)
+		} else {
+			ps = des.NewSharded(s.Seed, s.Shards, network.MinDelay(s.Delay))
+		}
+		sim = ps.Global()
+		net = network.NewSharded(ps, s.Topology, s.Delay, s.Seed)
+		rng = ps.SetupRand()
+	} else {
+		sim = s.ReuseSim
+		if sim != nil {
+			sim.Reset(s.Seed)
+		} else {
+			sim = des.New(s.Seed)
+		}
+		net = network.New(sim, s.Topology, s.Delay)
+		rng = sim.Rand()
+	}
 	net.DropProb = s.DropProb
-	rng := sim.Rand()
 
 	clocks := make([]*clock.Local, s.N)
 	harnesses := make([]*protocol.Harness, s.N)
@@ -271,7 +335,11 @@ func Run(s Scenario) (*Result, error) {
 			hw = clock.NewQuantized(hw, s.Tick)
 		}
 		clocks[i] = clock.NewLocal(hw)
-		harnesses[i] = protocol.NewHarness(i, sim, net, clocks[i])
+		hsim := sim
+		if ps != nil {
+			hsim = ps.Shard(ps.ShardOf(i))
+		}
+		harnesses[i] = protocol.NewHarness(i, hsim, net, clocks[i])
 	}
 
 	// Warm-up horizon: the guarantees assume a synchronized start; with a
@@ -284,10 +352,17 @@ func Run(s Scenario) (*Result, error) {
 	skipBefore := simtime.Time(warmSyncs * float64(s.SyncInt))
 
 	rec := metrics.NewRecorder(sim, clocks, s.Adversary, s.Theta)
-	// Sample at adjustment instants too: discontinuous bias changes happen
-	// exactly there, so periodic sampling alone could under-report the
-	// worst-case deviation the bounds are checked against.
-	rec.SampleOnAdjust(true)
+	if ps != nil {
+		// Sharded run: adjustments land in per-node buffers merged after the
+		// run; deviation samples come only from the periodic ticker, which
+		// runs on the global barrier queue with every shard quiesced.
+		rec.EnableSharded()
+	} else {
+		// Sample at adjustment instants too: discontinuous bias changes happen
+		// exactly there, so periodic sampling alone could under-report the
+		// worst-case deviation the bounds are checked against.
+		rec.SampleOnAdjust(true)
+	}
 	res := &Result{Scenario: &s, Bounds: bounds, Recorder: rec, Sim: sim,
 		SyncStats: make([]*core.Stats, s.N)}
 
@@ -380,7 +455,11 @@ func Run(s Scenario) (*Result, error) {
 
 	s.Adversary.Apply(sim, harnesses)
 	rec.Start(s.SamplePeriod)
-	sim.RunUntil(simtime.Time(s.Duration))
+	if ps != nil {
+		ps.RunUntil(simtime.Time(s.Duration))
+	} else {
+		sim.RunUntil(simtime.Time(s.Duration))
+	}
 
 	for i, sn := range syncNodes {
 		if sn != nil {
@@ -416,6 +495,7 @@ func Run(s Scenario) (*Result, error) {
 	if checker != nil {
 		res.Violations = checker.Violations()
 	}
+	rec.FinalizeSharded()
 	res.Report = rec.BuildReport(metrics.ReportOptions{
 		SkipBefore:        skipBefore,
 		RecoveryMargin:    bounds.MaxDeviation,
@@ -430,11 +510,13 @@ func Run(s Scenario) (*Result, error) {
 func defaultBuilder(ctx BuildContext) Starter {
 	sc := ctx.Scenario
 	return core.New(ctx.Harness, core.Config{
-		F:         sc.F,
-		SyncInt:   sc.SyncInt,
-		MaxWait:   sc.MaxWait,
-		WayOff:    sc.WayOff,
-		FirstSync: simtime.Duration(ctx.Rand.Float64() * float64(sc.SyncInt)),
+		F:           sc.F,
+		SyncInt:     sc.SyncInt,
+		MaxWait:     sc.MaxWait,
+		WayOff:      sc.WayOff,
+		FirstSync:   simtime.Duration(ctx.Rand.Float64() * float64(sc.SyncInt)),
+		SamplePeers: sc.SamplePeers,
+		SampleSeed:  sc.Seed,
 	}, ctx.Peers)
 }
 
@@ -444,11 +526,13 @@ func SyncBuilder(mutate func(*core.Config, BuildContext)) Builder {
 	return func(ctx BuildContext) Starter {
 		sc := ctx.Scenario
 		cfg := core.Config{
-			F:         sc.F,
-			SyncInt:   sc.SyncInt,
-			MaxWait:   sc.MaxWait,
-			WayOff:    sc.WayOff,
-			FirstSync: simtime.Duration(ctx.Rand.Float64() * float64(sc.SyncInt)),
+			F:           sc.F,
+			SyncInt:     sc.SyncInt,
+			MaxWait:     sc.MaxWait,
+			WayOff:      sc.WayOff,
+			FirstSync:   simtime.Duration(ctx.Rand.Float64() * float64(sc.SyncInt)),
+			SamplePeers: sc.SamplePeers,
+			SampleSeed:  sc.Seed,
 		}
 		if mutate != nil {
 			mutate(&cfg, ctx)

@@ -3,7 +3,6 @@ package scenario
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -21,11 +20,16 @@ func newWorkerSim() *des.Sim { return des.New(0) }
 // experiments use it to report worst-over-seeds numbers instead of one
 // lucky run.
 //
-// Concurrency is bounded at GOMAXPROCS workers pulling seeds from a shared
-// counter: a 10 000-seed sweep runs on a fixed handful of goroutines instead
-// of 10 000, keeping scheduler and stack overhead flat (TestSweepGoroutineBound
-// pins the ceiling). Each worker reuses one simulator arena across its seeds
-// via ReuseSim, so steady-state sweeping allocates per run, not per event.
+// Concurrency draws from the process-wide simulation worker pool
+// (des.AcquireWorkers): the calling goroutine always works, plus up to
+// min(GOMAXPROCS−1, len(seeds)−1) helpers if the pool has tokens free. The
+// pool is shared with campaign.Run and the sharded simulator's window
+// workers, so nested parallelism — a sweep of sharded runs, a campaign
+// launched next to a sweep — composes to at most GOMAXPROCS simulation
+// goroutines per entry point instead of multiplying
+// (TestWorkerBudgetComposes pins the ceiling). Each worker reuses one
+// simulator arena across its seeds via ReuseSim, so steady-state sweeping
+// allocates per run, not per event.
 //
 // When some seeds fail, Sweep still returns every successful result (failed
 // seeds leave a nil slot, preserving seed order) alongside an error joining
@@ -38,36 +42,38 @@ func newWorkerSim() *des.Sim { return des.New(0) }
 func Sweep(mk func(seed int64) Scenario, seeds []int64) ([]*Result, error) {
 	results := make([]*Result, len(seeds))
 	errs := make([]error, len(seeds))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(seeds) {
-		workers = len(seeds)
-	}
 	var next atomic.Int64
+	work := func() {
+		sim := newWorkerSim()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(seeds) {
+				return
+			}
+			seed := seeds[i]
+			s := mk(seed)
+			s.Seed = seed
+			if s.Name != "" {
+				s.Name = fmt.Sprintf("%s/seed%d", s.Name, seed)
+			}
+			if s.ReuseSim == nil && s.Shards == 0 && s.ReuseSharded == nil {
+				s.ReuseSim = sim
+			}
+			results[i], errs[i] = Run(s)
+		}
+	}
+	helpers := des.AcquireWorkers(len(seeds) - 1)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < helpers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sim := newWorkerSim()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(seeds) {
-					return
-				}
-				seed := seeds[i]
-				s := mk(seed)
-				s.Seed = seed
-				if s.Name != "" {
-					s.Name = fmt.Sprintf("%s/seed%d", s.Name, seed)
-				}
-				if s.ReuseSim == nil {
-					s.ReuseSim = sim
-				}
-				results[i], errs[i] = Run(s)
-			}
+			work()
 		}()
 	}
+	work() // the caller is the implicit first worker
 	wg.Wait()
+	des.ReleaseWorkers(helpers)
 	var failures []error
 	for i, err := range errs {
 		if err != nil {

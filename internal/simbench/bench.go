@@ -93,6 +93,38 @@ func ClusterMinute(b *testing.B, n int) {
 	}
 }
 
+// ClusterMinuteLarge measures the planet-scale configuration: one simulated
+// minute of an n-processor cluster with a fixed fault budget f, sparse
+// estimation against k-of-n peer subsets (O(n·k) messages per round instead
+// of O(n²)) and the event queue sharded `shards` ways with conservative
+// lookahead windows. This is the regime the n=1024 and n=4096 baseline rows
+// run in; the sharded arena is reused across iterations just as ClusterMinute
+// reuses its serial one. At these sizes the full mesh would be quadratically
+// unaffordable — k must still satisfy k ≥ 2f+1.
+func ClusterMinuteLarge(b *testing.B, n, f, k, shards int) {
+	// Lookahead matches the default delay model's 5 ms minimum link delay.
+	ps := des.NewSharded(0, shards, 5*simtime.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := scenario.Run(scenario.Scenario{
+			Name:         "bench-large",
+			Seed:         int64(i),
+			N:            n,
+			F:            f,
+			SamplePeers:  k,
+			Duration:     simtime.Minute,
+			Theta:        2 * simtime.Minute,
+			Rho:          1e-4,
+			SyncInt:      10 * simtime.Second,
+			ReuseSharded: ps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // CampaignThroughput measures end-to-end randomized-campaign throughput:
 // generation, the streaming worker pool, per-run checker attachment and
 // seed-order accounting — the path that decides how many adversary

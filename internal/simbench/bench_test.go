@@ -5,7 +5,10 @@ import "testing"
 func BenchmarkSimulatorEvents(b *testing.B)     { SimulatorEvents(b) }
 func BenchmarkConvergenceFunction(b *testing.B) { ConvergenceFunction(b) }
 func BenchmarkClusterMinuteN7(b *testing.B)     { ClusterMinute(b, 7) }
-func BenchmarkCampaignThroughput(b *testing.B)  { CampaignThroughput(b) }
+func BenchmarkClusterMinuteLargeN1024(b *testing.B) {
+	ClusterMinuteLarge(b, 1024, 10, 31, 8)
+}
+func BenchmarkCampaignThroughput(b *testing.B) { CampaignThroughput(b) }
 
 // The alloc-budget pins run in plain `go test`, so a hot-path allocation
 // regression fails CI without anyone comparing benchmark output by hand.
@@ -31,5 +34,33 @@ func TestConvergenceFunctionAllocFree(t *testing.T) {
 	r := testing.Benchmark(ConvergenceFunction)
 	if a := r.AllocsPerOp(); a != 0 {
 		t.Errorf("Converge allocates: %d allocs/op, want 0", a)
+	}
+}
+
+// TestClusterMinuteAllocBudget pins the end-to-end allocation profile. The
+// payload free lists (TimeReq/TimeResp pooled per harness, sized to the
+// round's working set) took a simulated n=256 cluster-minute from ~752k to
+// ~105k allocs/op; the budgets below hold that ground with headroom for
+// noise, so un-pooling a hot payload path fails plain `go test`, not only a
+// benchmark comparison.
+func TestClusterMinuteAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs multi-second cluster simulations")
+	}
+	if raceEnabled {
+		t.Skip("alloc counts include race-detector bookkeeping")
+	}
+	for _, tc := range []struct {
+		n      int
+		budget int64
+	}{
+		{7, 1_500},     // measured ~1.06k
+		{256, 160_000}, // measured ~105k
+	} {
+		r := testing.Benchmark(func(b *testing.B) { ClusterMinute(b, tc.n) })
+		if a := r.AllocsPerOp(); a > tc.budget {
+			t.Errorf("ClusterMinute n=%d: %d allocs/op over budget %d — a payload or event path stopped pooling",
+				tc.n, a, tc.budget)
+		}
 	}
 }
