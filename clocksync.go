@@ -320,6 +320,17 @@ type (
 	CampaignFailure = campaign.Failure
 	// ShrinkResult is a minimized failing schedule.
 	ShrinkResult = campaign.ShrinkResult
+	// AdversaryFamily names a scenario-generation family: "delayskew",
+	// "churn", "flash", "coldstart", "generic", or a hostile "name!" variant.
+	AdversaryFamily = campaign.Family
+	// FamilyWeight is one weighted entry of a family mix.
+	FamilyWeight = campaign.FamilyWeight
+	// FamilyMix is a weighted set of families; CampaignConfig.Families draws
+	// each run's scenario from it (seed-keyed, so mixed-campaign failures
+	// replay bit-for-bit as single-family runs).
+	FamilyMix = campaign.FamilyMix
+	// FamilyResult is the per-family breakdown in CampaignResult.PerFamily.
+	FamilyResult = campaign.FamilyResult
 )
 
 // RunCampaign executes a randomized adversary campaign across cores. Any
@@ -328,6 +339,13 @@ type (
 // reproducer.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	return campaign.Run(cfg)
+}
+
+// ParseFamilyMix parses a family-mix spec like "delayskew:2,churn,flash"
+// into a FamilyMix for CampaignConfig.Families. Append "!" for a family's
+// designed-to-fail hostile variant (e.g. "churn!").
+func ParseFamilyMix(spec string) (FamilyMix, error) {
+	return campaign.ParseFamilyMix(spec)
 }
 
 // ---------------------------------------------------------------------------

@@ -54,6 +54,10 @@ func main() {
 		{"E19", experiments.E19TightnessProbe},
 		{"E20", experiments.E20NetworkOutage},
 		{"E21", experiments.E21SamplingScaling},
+		{"E22", experiments.E22DelaySkew},
+		{"E23", experiments.E23ChurnBudget},
+		{"E24", experiments.E24FlashRejoin},
+		{"E25", experiments.E25ColdStart},
 	}
 
 	if *list {
@@ -117,6 +121,11 @@ func quickTitle(id string) string {
 		"E18": "Proactive secret sharing end-to-end (§1)",
 		"E19": "Adversarial tightness probe for Δ",
 		"E20": "Temporary model violation and self-healing",
+		"E21": "Peer-sampled estimation scaling",
+		"E22": "DelaySkew family: asymmetric link delay",
+		"E23": "ChurnBudget family: f-per-Θ boundary streams",
+		"E24": "FlashRecovery family: rejoin-time tails",
+		"E25": "ColdStart family: arbitrary initial states",
 	}
 	return titles[id]
 }

@@ -11,6 +11,12 @@
 //	synccampaign -runs 200 -seed 1 -shrink -jsonl violations.jsonl
 //	synccampaign -runs 100 -conform         # + spec refinement over every run's spans
 //	synccampaign -runs 50 -mutate -shrink   # loosened protocol: violations expected
+//	synccampaign -runs 250 -family delayskew,churn,flash,coldstart   # weighted mixes: delayskew:2,churn
+//	synccampaign -runs 50 -family churn!    # over-budget variant: violations expected
+//	synccampaign -runs 50 -family flash -mutate-recovery   # halving disabled: recovery violations expected
+//
+// See the "Adversary families" section of EXPERIMENTS.md for what each
+// family probes and the E22–E25 tables it reproduces.
 package main
 
 import (
@@ -42,7 +48,8 @@ func main() {
 // violationRecord is one JSONL line: the violation plus the seed that
 // produced it, enough to replay with -runs 1 -seed <seed>.
 type violationRecord struct {
-	Seed int64 `json:"seed"`
+	Seed   int64  `json:"seed"`
+	Family string `json:"family,omitempty"`
 	check.Violation
 }
 
@@ -65,7 +72,9 @@ func run(args []string, stdout io.Writer) error {
 		workers  = fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		shrink   = fs.Bool("shrink", false, "minimize each failing schedule to a smallest reproducer")
 		conform  = fs.Bool("conform", false, "replay every run's span stream through the abstract Sync-round spec (refinement check; see docs/CONFORMANCE.md)")
+		family   = fs.String("family", "", "adversary family mix, comma-separated and optionally weighted (e.g. delayskew:2,churn,flash,coldstart); families: generic, delayskew, churn, flash, coldstart; suffix ! for a designed-to-fail variant (churn!, delayskew!)")
 		mutate   = fs.Bool("mutate", false, "loosen the convergence function (no trimming); violations are expected — a checker self-test")
+		mutateRc = fs.Bool("mutate-recovery", false, "disable Sync on scheduled victims, so released clocks never halve their distance; Lemma 7(iii) recovery violations are expected — a checker self-test")
 		jsonlOut = fs.String("jsonl", "", "append one JSON line per violation to this file")
 		traceSp  = fs.String("trace-spans", "", "replay the first failing seed with full event+span tracing into this JSONL file (inspect with tracestat, export with tracestat -perfetto)")
 		metrics  = cliutil.AddrVar(fs, "metrics-addr", "", "serve /debug/pprof on this HTTP address while the campaign runs (use host:0 for an OS port)")
@@ -109,8 +118,24 @@ func run(args []string, stdout io.Writer) error {
 		Conform:        *conform,
 		SamplePeers:    *samplek,
 	}
+	if *family != "" {
+		mix, err := campaign.ParseFamilyMix(*family)
+		if err != nil {
+			return err
+		}
+		cfg.Families = mix
+	}
 	if *mutate {
 		cfg.Mutate = func(c *core.Config, _ scenario.BuildContext) { c.F = 0 }
+	}
+	if *mutateRc {
+		prev := cfg.Mutate
+		cfg.Mutate = func(c *core.Config, ctx scenario.BuildContext) {
+			if prev != nil {
+				prev(c, ctx)
+			}
+			campaign.DisableVictimRecovery(c, ctx)
+		}
 	}
 
 	start := time.Now()
@@ -125,6 +150,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "checked           deviation Δ, discontinuity, accuracy, recovery halving\n")
 	fmt.Fprintf(stdout, "result            %d completed, %d failing seeds, %d violations\n",
 		res.Completed, len(res.Failures), res.TotalViolations)
+	for _, fr := range res.PerFamily {
+		fmt.Fprintf(stdout, "family            %-12s %d runs, %d failing, %d violations\n",
+			fr.Family, fr.Runs, fr.Failures, fr.Violations)
+	}
 	if *conform {
 		fmt.Fprintf(stdout, "conformance       %d runs refined against the spec, %d rounds replayed, %d refinement violations\n",
 			res.Refined, res.RefinedRounds, res.ConformViolations)
@@ -138,8 +167,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	for _, fail := range res.Failures {
-		fmt.Fprintf(stdout, "\nseed %d: %d violations under %d corruptions\n",
-			fail.Seed, len(fail.Violations)+len(fail.Conform), len(fail.Schedule.Corruptions))
+		fam := fail.Family
+		if fam == "" {
+			fam = "generic"
+		}
+		// One self-contained line per failure: family + seed make the run
+		// reproducible without the rest of the log.
+		fmt.Fprintf(stdout, "\nseed %d family %s: %d violations under %d corruptions (replay: -runs 1 -seed %d -family %s)\n",
+			fail.Seed, fam, len(fail.Violations)+len(fail.Conform), len(fail.Schedule.Corruptions),
+			fail.Seed, fam)
 		printViolations(stdout, fail.Violations, 3)
 		for i, v := range fail.Conform {
 			if i == 3 {
@@ -223,7 +259,7 @@ func writeJSONL(path string, failures []campaign.Failure) error {
 	enc := json.NewEncoder(fh)
 	for _, f := range failures {
 		for _, v := range f.Violations {
-			if err := enc.Encode(violationRecord{Seed: f.Seed, Violation: v}); err != nil {
+			if err := enc.Encode(violationRecord{Seed: f.Seed, Family: f.Family, Violation: v}); err != nil {
 				return err
 			}
 		}

@@ -181,6 +181,37 @@ func Static(nodes []int, from, to simtime.Time, mk func(node int) protocol.Behav
 	return s
 }
 
+// Churn builds a sustained corrupt/release stream pinned at the Definition 2
+// budget boundary: break-ins of duration dwell start every (Θ+dwell)/f +
+// margin, rotating round-robin over the n processors, from start for as long
+// as a whole break-in fits before horizon. With any margin > 0 the stream is
+// exactly f-limited — every Θ-window already sees f distinct controlled
+// processors, so any additional concurrent corruption would break the budget
+// — while margin ≤ 0 packs f+1 extended windows [From−Θ, To] into some
+// Θ-window and Validate MUST reject the result (touching windows count as
+// overlapping). The boundary property tests drive exactly this knob from
+// both sides.
+func Churn(n, f int, start, horizon simtime.Time, dwell, theta, margin simtime.Duration, mk func(node int) protocol.Behavior) Schedule {
+	if f < 1 || n <= f || dwell <= 0 {
+		panic(fmt.Sprintf("adversary: bad Churn(n=%d, f=%d, dwell=%v)", n, f, dwell))
+	}
+	step := simtime.Duration(float64(theta+dwell)/float64(f)) + margin
+	if step <= 0 || simtime.Duration(n)*step <= dwell {
+		panic(fmt.Sprintf("adversary: Churn step %v too small for dwell %v over n=%d", step, dwell, n))
+	}
+	var s Schedule
+	for i := 0; ; i++ {
+		from := start.Add(simtime.Duration(i) * step)
+		if from.Add(dwell) > horizon {
+			return s
+		}
+		node := i % n
+		s.Corruptions = append(s.Corruptions, Corruption{
+			Node: node, From: from, To: from.Add(dwell), Behavior: mk(node),
+		})
+	}
+}
+
 // Rotate builds the mobile-adversary workload of experiment E5: corruptions
 // of duration dwell rotating round-robin over all n processors, for the
 // given number of corruption events, starting at start. Consecutive

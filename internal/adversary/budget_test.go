@@ -1,0 +1,166 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"clocksync/internal/simtime"
+)
+
+// The Definition 2 budget boundary, probed from both sides. Churn's margin
+// knob places consecutive break-ins (Θ+dwell)/f + margin apart; the extended
+// windows [From−Θ, To] of corruptions i and i+f then overlap exactly when
+// f·margin ≤ 0. A +1 ms margin is therefore the tightest valid schedule —
+// every Θ-window already sees f distinct controlled processors — and a −1 ms
+// margin packs f+1 into some window, which Validate must reject.
+func TestChurnBudgetBoundary(t *testing.T) {
+	cases := []struct {
+		name         string
+		n, f         int
+		theta, dwell simtime.Duration
+	}{
+		{"n=4 f=1", 4, 1, 300 * simtime.Second, 20 * simtime.Second},
+		{"n=7 f=2", 7, 2, 300 * simtime.Second, 20 * simtime.Second},
+		{"n=10 f=3", 10, 3, 240 * simtime.Second, 15 * simtime.Second},
+		{"n=13 f=4", 13, 4, 600 * simtime.Second, 45 * simtime.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Three full budget periods: enough for ≳3f break-ins, so the
+			// boundary is exercised by many overlapping window pairs, not one.
+			horizon := simtime.Time(3 * (tc.theta + tc.dwell))
+
+			under := Churn(tc.n, tc.f, 0, horizon, tc.dwell, tc.theta, simtime.Millisecond, mkCrash)
+			if got := len(under.Corruptions); got <= tc.f {
+				t.Fatalf("budget−1 stream has only %d corruptions; need > f=%d to stress the boundary", got, tc.f)
+			}
+			if err := under.Validate(tc.n, tc.f, tc.theta); err != nil {
+				t.Fatalf("budget−1 schedule (margin +1ms) rejected: %v", err)
+			}
+
+			over := Churn(tc.n, tc.f, 0, horizon, tc.dwell, tc.theta, -simtime.Millisecond, mkCrash)
+			if got := len(over.Corruptions); got <= tc.f {
+				t.Fatalf("budget+1 stream has only %d corruptions; the violating window pair never forms", got)
+			}
+			if err := over.Validate(tc.n, tc.f, tc.theta); err == nil {
+				t.Fatal("budget+1 schedule (margin −1ms) accepted")
+			}
+			// The excess is exactly one processor: the same stream is a valid
+			// strategy for an (f+1)-limited adversary.
+			if err := over.Validate(tc.n, tc.f+1, tc.theta); err != nil {
+				t.Fatalf("budget+1 schedule rejected even for f+1=%d: %v", tc.f+1, err)
+			}
+		})
+	}
+}
+
+// The boundary property is not an artifact of hand-picked parameters: for
+// random (n, f, Θ, dwell, |margin|), +margin always validates and −margin is
+// always rejected, as long as the stream is long enough to contain the f+1
+// consecutive break-ins whose windows collide.
+func TestChurnBudgetBoundaryRandomized(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	rng := rand.New(rand.NewSource(20260809))
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(14)
+		f := 1 + rng.Intn(n-1)
+		theta := simtime.Duration(60+rng.Intn(600)) * simtime.Second
+		dwell := simtime.Duration(1+rng.Intn(15)) * simtime.Second
+		margin := simtime.Duration(1+rng.Intn(500)) * simtime.Millisecond
+		horizon := simtime.Time(3 * (theta + dwell))
+
+		under := Churn(n, f, 0, horizon, dwell, theta, margin, mkCrash)
+		if err := under.Validate(n, f, theta); err != nil {
+			t.Fatalf("trial %d (n=%d f=%d Θ=%v dwell=%v margin=%v): valid boundary stream rejected: %v",
+				trial, n, f, theta, dwell, margin, err)
+		}
+		over := Churn(n, f, 0, horizon, dwell, theta, -margin, mkCrash)
+		if len(over.Corruptions) <= f {
+			t.Fatalf("trial %d (n=%d f=%d): over-budget stream too short (%d corruptions)",
+				trial, n, f, len(over.Corruptions))
+		}
+		if err := over.Validate(n, f, theta); err == nil {
+			t.Fatalf("trial %d (n=%d f=%d Θ=%v dwell=%v margin=%v): over-budget stream accepted",
+				trial, n, f, theta, dwell, margin)
+		}
+	}
+}
+
+// The same exact-boundary property for the livenet chaos plans: a generated
+// epoch holds k ≤ f victims; topping the same window up to exactly f distinct
+// processors still validates, while one more pushes the window over the
+// Definition 2 budget and Validate must reject it.
+func TestNetScheduleBudgetBoundary(t *testing.T) {
+	cfg := GenNetConfig{
+		N:       7,
+		F:       2,
+		Theta:   60 * simtime.Second,
+		Start:   simtime.Time(30 * simtime.Second),
+		Horizon: simtime.Time(600 * simtime.Second),
+		Dwell:   15 * simtime.Second,
+	}
+	checkedOver, checkedExact := 0, 0
+	for seed := int64(0); seed < 50; seed++ {
+		s := GenNetSchedule(seed, cfg)
+		if err := s.Validate(cfg.N, cfg.F, cfg.Theta); err != nil {
+			t.Fatalf("seed %d: generated plan invalid: %v", seed, err)
+		}
+		if len(s.Faults) == 0 {
+			t.Fatalf("seed %d: no fault epochs within the horizon", seed)
+		}
+		first := s.Faults[0]
+		fresh := freshNodes(cfg.N, first.Nodes)
+
+		// Budget−1: extend the epoch to exactly f distinct victims.
+		if add := cfg.F - len(first.Nodes); add >= 1 {
+			exact := withExtraFault(s, first, fresh[:add])
+			if err := exact.Validate(cfg.N, cfg.F, cfg.Theta); err != nil {
+				t.Fatalf("seed %d: exactly-f window rejected: %v", seed, err)
+			}
+			checkedExact++
+		}
+		// Budget+1: one more distinct victim in the same window.
+		add := cfg.F + 1 - len(first.Nodes)
+		overS := withExtraFault(s, first, fresh[:add])
+		if err := overS.Validate(cfg.N, cfg.F, cfg.Theta); err == nil {
+			t.Fatalf("seed %d: f+1 distinct victims in one window accepted", seed)
+		}
+		checkedOver++
+	}
+	if checkedOver == 0 || checkedExact == 0 {
+		t.Fatalf("boundary never exercised: %d over, %d exact cases", checkedOver, checkedExact)
+	}
+}
+
+// freshNodes lists the processors of [0, n) not already among used.
+func freshNodes(n int, used []int) []int {
+	inUse := make(map[int]bool, len(used))
+	for _, v := range used {
+		inUse[v] = true
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if !inUse[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// withExtraFault returns s plus a crash of victims spanning exactly the
+// window of base, leaving s itself untouched.
+func withExtraFault(s NetSchedule, base NetFault, victims []int) NetSchedule {
+	extra := NetFault{
+		Kind:  FaultCrash,
+		Nodes: append([]int{}, victims...),
+		From:  base.From,
+		To:    base.To,
+	}
+	return NetSchedule{
+		Chaos:  s.Chaos,
+		Faults: append(append([]NetFault{}, s.Faults...), extra),
+	}
+}

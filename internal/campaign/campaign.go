@@ -75,6 +75,13 @@ type Config struct {
 	// produce violations.
 	Mutate func(*core.Config, scenario.BuildContext)
 
+	// Families, when non-empty, draws each run's scenario from this
+	// weighted mix of named adversary families (see Family) instead of the
+	// generic generator. Entries with Hostile set run the family's
+	// designed-to-fail variant — violations are then expected. Run rejects
+	// an invalid mix up front; parse flag strings with ParseFamilyMix.
+	Families FamilyMix
+
 	// Conform additionally records every run's span/event stream and
 	// replays it through the abstract spec's transition relation
 	// (internal/conformance): every observed round must be an allowed
@@ -127,8 +134,12 @@ func (c Config) withDefaults() Config {
 // Failure is one run whose checker recorded at least one violation —
 // online Theorem 5 violations, refinement violations, or both.
 type Failure struct {
-	Seed       int64
-	Schedule   adversary.Schedule
+	Seed     int64
+	Schedule adversary.Schedule
+	// Family names the generating adversary family ("generic" when the
+	// campaign ran without a mix) — together with Seed it makes the failure
+	// reproducible from the log line alone: -runs 1 -seed <Seed> -family <Family>.
+	Family     string
 	Violations []check.Violation
 	// Conform lists the run's refinement violations (Config.Conform).
 	Conform []conformance.Violation
@@ -148,6 +159,17 @@ type Result struct {
 	Refined           int
 	RefinedRounds     int
 	ConformViolations int
+	// PerFamily breaks the campaign down by generating family, in mix
+	// order; nil when the campaign ran without Families.
+	PerFamily []FamilyResult
+}
+
+// FamilyResult is one family's share of a campaign.
+type FamilyResult struct {
+	Family     string // canonical name ("churn", "delayskew!", …)
+	Runs       int    // runs drawn from this family
+	Failures   int    // failing runs
+	Violations int    // online + refinement violations
 }
 
 // runOutcome is what one campaign run leaves behind: only the failure data
@@ -174,6 +196,9 @@ type runOutcome struct {
 // violations are not errors, they are Failures).
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Families.Validate(); err != nil {
+		return nil, err
+	}
 	res := &Result{Runs: cfg.Runs}
 	outcomes := make([]runOutcome, cfg.Runs)
 
@@ -241,6 +266,17 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	des.ReleaseWorkers(helpers)
 
+	// perFamily indexes res.PerFamily rows by canonical family name,
+	// pre-seeded in mix order so the breakdown is stable.
+	var perFamily map[string]*FamilyResult
+	if len(cfg.Families) > 0 {
+		perFamily = make(map[string]*FamilyResult, len(cfg.Families))
+		res.PerFamily = make([]FamilyResult, len(cfg.Families))
+		for i, w := range cfg.Families {
+			res.PerFamily[i].Family = w.String()
+			perFamily[w.String()] = &res.PerFamily[i]
+		}
+	}
 	var errs []error
 	for i, o := range outcomes {
 		if o.err != nil {
@@ -251,6 +287,12 @@ func Run(cfg Config) (*Result, error) {
 			continue
 		}
 		res.Completed++
+		seed := cfg.Seed + int64(i)
+		family := cfg.pickFamily(seed).String()
+		fr := perFamily[family] // nil only when Families is empty
+		if fr != nil {
+			fr.Runs++
+		}
 		if cfg.Conform {
 			res.Refined++
 			res.RefinedRounds += o.rounds
@@ -258,9 +300,14 @@ func Run(cfg Config) (*Result, error) {
 		if len(o.violations) > 0 || len(o.conform) > 0 {
 			res.TotalViolations += len(o.violations)
 			res.ConformViolations += len(o.conform)
+			if fr != nil {
+				fr.Failures++
+				fr.Violations += len(o.violations) + len(o.conform)
+			}
 			res.Failures = append(res.Failures, Failure{
-				Seed:       cfg.Seed + int64(i),
+				Seed:       seed,
 				Schedule:   o.schedule,
+				Family:     family,
 				Violations: o.violations,
 				Conform:    o.conform,
 			})

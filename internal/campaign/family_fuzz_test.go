@@ -1,0 +1,68 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFamilyConfig fuzzes the -family flag surface end to end: for any spec
+// string, ParseFamilyMix must either error or return a validated, non-empty
+// mix that round-trips through its canonical rendering and expands seeds
+// into scenarios without panicking — never a zero-value family. Honest
+// families must additionally hand back Definition 2-valid schedules; only a
+// mix that explicitly sets UnsafeAdversary (churn!) may carry an invalid one.
+func FuzzFamilyConfig(f *testing.F) {
+	for _, spec := range []string{
+		"delayskew",
+		"generic",
+		"delayskew:2,churn,flash,coldstart",
+		"churn!",
+		"delayskew!:3",
+		"churn , flash",
+		"churn,churn!",
+		"bogus",
+		"flash!",
+		"churn:0",
+		"churn:-2",
+		"churn:",
+		"churn,,flash",
+		",",
+		"delayskew:2:3",
+		"CHURN",
+		"churn:999999999999999999999",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		mix, err := ParseFamilyMix(spec)
+		if err != nil {
+			if mix != nil {
+				t.Fatalf("ParseFamilyMix(%q) returned both a mix and %v", spec, err)
+			}
+			return
+		}
+		if len(mix) == 0 {
+			t.Fatalf("ParseFamilyMix(%q) accepted an empty mix", spec)
+		}
+		if err := mix.Validate(); err != nil {
+			t.Fatalf("ParseFamilyMix(%q) returned an invalid mix: %v", spec, err)
+		}
+		again, err := ParseFamilyMix(mix.String())
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not parse: %v", mix.String(), spec, err)
+		}
+		if !reflect.DeepEqual(mix, again) {
+			t.Fatalf("mix %q does not round-trip: %+v vs %+v", spec, mix, again)
+		}
+		cfg := Config{Families: mix}.withDefaults()
+		for _, seed := range []int64{0, 7} {
+			s := cfg.Scenario(seed) // must not panic for any accepted mix
+			if s.UnsafeAdversary {
+				continue // churn!: invalid by design, forced past Validate
+			}
+			if err := s.Adversary.Validate(cfg.N, cfg.F, cfg.Theta); err != nil {
+				t.Fatalf("spec %q seed %d: generated schedule invalid: %v", spec, seed, err)
+			}
+		}
+	})
+}

@@ -19,9 +19,17 @@ import (
 // The draw order is fixed — delay, drop, spread, then schedule — so the
 // shrinker can override only the schedule of a replayed scenario while
 // keeping every other draw identical.
+//
+// When Families is set, the seed's family is picked first (from a separate
+// seed-keyed stream; see pickFamily) and a non-generic pick dispatches to
+// that family's generator; the generic path below is byte-for-byte the
+// pre-family generator.
 func (c Config) Scenario(seed int64) scenario.Scenario {
 	c = c.withDefaults()
 	rng := rand.New(rand.NewSource(seed*0x9E3779B9 + 0x7F4A7C15))
+	if fw := c.pickFamily(seed); fw.Family != FamilyGeneric {
+		return c.familyScenario(fw, seed, rng)
+	}
 	s := scenario.Scenario{
 		Name:     "campaign",
 		Seed:     seed,

@@ -200,6 +200,10 @@ func All(quick bool) []Table {
 		E19TightnessProbe(quick),
 		E20NetworkOutage(quick),
 		E21SamplingScaling(quick),
+		E22DelaySkew(quick),
+		E23ChurnBudget(quick),
+		E24FlashRejoin(quick),
+		E25ColdStart(quick),
 	}
 }
 

@@ -104,6 +104,57 @@ func (a AsymmetricDelay) MinBound() simtime.Duration {
 	return simtime.MinDuration(a.FwdMin, a.RevMin)
 }
 
+// SkewedDelay is the packet-preserving asymmetric link-delay attacker of the
+// "Resilience Bounds of Network Clock Synchronization with Fault Correction"
+// model: the adversary never drops a message or exceeds the latency bound —
+// it only skews the two directions of cross-group links. Processors below
+// Boundary form group A, the rest group B; every A→B message takes ≈Slow,
+// every B→A message ≈Fast, and in-group traffic uses the modest symmetric
+// InGroup range. The ping estimator (§3.1) attributes half the round-trip
+// asymmetry to clock offset — with opposite signs on the two sides of the
+// boundary — so the trimmed-midpoint convergence function drives the groups
+// apart to a stable split of (Slow−Fast)/2: the largest persistent deviation
+// any delay-only adversary can force, and exactly the per-reading ε
+// absorption Theorem 5's envelope must cover.
+//
+// Declared, when positive, overrides Bound(): the model *claims* that δ even
+// when Slow exceeds it. That is the designed-to-fail out-of-δ variant — the
+// checker derives its envelope from a bound the network silently violates —
+// used by the campaign's delayskew! family.
+type SkewedDelay struct {
+	Boundary   int              // first processor of group B
+	Slow, Fast simtime.Duration // cross-group directional delays (A→B, B→A)
+	InGroup    UniformDelay     // symmetric in-group delay range
+	Declared   simtime.Duration // lying Bound() override (0 = honest maximum)
+}
+
+// Sample implements DelayModel. Both directional delays carry a little
+// downward jitter so no two deliveries tie at the same instant.
+func (s SkewedDelay) Sample(from, to int, rng *rand.Rand) simtime.Duration {
+	fromA, toA := from < s.Boundary, to < s.Boundary
+	switch {
+	case fromA == toA:
+		return s.InGroup.Sample(from, to, rng)
+	case fromA: // A→B: the slow direction
+		return s.Slow - simtime.Duration(rng.Float64())*(s.Slow/32)
+	default: // B→A: the fast direction
+		return s.Fast/2 + simtime.Duration(rng.Float64())*(s.Fast/2)
+	}
+}
+
+// Bound implements DelayModel.
+func (s SkewedDelay) Bound() simtime.Duration {
+	if s.Declared > 0 {
+		return s.Declared
+	}
+	return simtime.MaxDuration(s.Slow, s.InGroup.Max)
+}
+
+// MinBound implements MinBounder.
+func (s SkewedDelay) MinBound() simtime.Duration {
+	return simtime.MinDuration(s.Fast/2, s.InGroup.Min)
+}
+
 // SpikyDelay models a network whose latency is usually Base-ish but
 // occasionally spikes: with probability SpikeProb the sample gets an extra
 // uniform [0, SpikeMax] added. Used to evaluate the min-RTT-of-k estimation
